@@ -1,0 +1,83 @@
+//! Ablation study of the design choices called out in `DESIGN.md`:
+//!
+//! * **Fast path** — Orthrus (partial ordering + escrow for payments) versus
+//!   Ladon (same dynamic global ordering, no fast path): isolates the benefit
+//!   of confirming payments from the partial logs.
+//! * **Dynamic versus pre-determined global ordering** — Ladon versus ISS:
+//!   isolates the benefit of rank-based ordering under a straggler.
+//! * **Multi-payer share** — how much the cross-instance escrow costs as more
+//!   payments span two instances.
+
+use orthrus_bench::harness::{self, BenchScale};
+use orthrus_types::{NetworkKind, ProtocolKind};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let replicas = scale.fixed_replicas();
+
+    // Ablation A: payment fast path (Orthrus vs Ladon), with a straggler.
+    harness::print_header(
+        &format!("Ablation A — payment fast path ({replicas} replicas WAN, 1 straggler)"),
+        "payment %",
+    );
+    let mut points = Vec::new();
+    for share_pct in [20u32, 60, 100] {
+        for protocol in [ProtocolKind::Orthrus, ProtocolKind::Ladon] {
+            let scenario = harness::paper_scenario(
+                protocol,
+                NetworkKind::Wan,
+                replicas,
+                f64::from(share_pct) / 100.0,
+                true,
+                scale,
+            );
+            let point = harness::measure(protocol.label(), f64::from(share_pct), &scenario);
+            harness::print_row(&point);
+            points.push(point);
+        }
+    }
+    harness::write_csv("ablation_fast_path", "payment_share_pct", &points);
+
+    // Ablation B: dynamic vs pre-determined global ordering under a straggler.
+    harness::print_header(
+        &format!("Ablation B — global ordering policy ({replicas} replicas WAN, 1 straggler)"),
+        "replicas",
+    );
+    let mut points = Vec::new();
+    for protocol in [ProtocolKind::Ladon, ProtocolKind::Iss, ProtocolKind::Dqbft] {
+        let scenario = harness::paper_scenario(
+            protocol,
+            NetworkKind::Wan,
+            replicas,
+            0.46,
+            true,
+            scale,
+        );
+        let point = harness::measure(protocol.label(), f64::from(replicas), &scenario);
+        harness::print_row(&point);
+        points.push(point);
+    }
+    harness::write_csv("ablation_global_ordering", "replicas", &points);
+
+    // Ablation C: multi-payer share (cross-instance escrow cost), no faults.
+    harness::print_header(
+        &format!("Ablation C — multi-payer share ({replicas} replicas WAN, payments only)"),
+        "multi-payer %",
+    );
+    let mut points = Vec::new();
+    for multi_pct in [0u32, 10, 30, 50] {
+        let mut scenario = harness::paper_scenario(
+            ProtocolKind::Orthrus,
+            NetworkKind::Wan,
+            replicas,
+            1.0,
+            false,
+            scale,
+        );
+        scenario.workload.multi_payer_share = f64::from(multi_pct) / 100.0;
+        let point = harness::measure("Orthrus", f64::from(multi_pct), &scenario);
+        harness::print_row(&point);
+        points.push(point);
+    }
+    harness::write_csv("ablation_multi_payer", "multi_payer_pct", &points);
+}

@@ -1,0 +1,40 @@
+//! Figure 3 (a–d): throughput and latency of Orthrus, ISS, RCC, Mir, DQBFT
+//! and Ladon in the WAN, with 0 and 1 straggler, sweeping the replica count.
+//!
+//! Reduced scale by default; `ORTHRUS_FULL_SCALE=1` runs the paper's 8–128
+//! replica sweep with the 200k-transaction workload.
+
+use orthrus_bench::harness::{self, BenchScale};
+use orthrus_types::{NetworkKind, ProtocolKind};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    for straggler in [false, true] {
+        let figure = if straggler { "fig3cd_wan_straggler" } else { "fig3ab_wan_no_straggler" };
+        harness::print_header(
+            &format!(
+                "Figure 3{} — WAN, {} straggler(s)",
+                if straggler { "c/d" } else { "a/b" },
+                u32::from(straggler)
+            ),
+            "replicas",
+        );
+        let mut points = Vec::new();
+        for &n in &scale.replica_counts() {
+            for protocol in ProtocolKind::ALL {
+                let scenario = harness::paper_scenario(
+                    protocol,
+                    NetworkKind::Wan,
+                    n,
+                    0.46,
+                    straggler,
+                    scale,
+                );
+                let point = harness::measure(protocol.label(), f64::from(n), &scenario);
+                harness::print_row(&point);
+                points.push(point);
+            }
+        }
+        harness::write_csv(figure, "replicas", &points);
+    }
+}

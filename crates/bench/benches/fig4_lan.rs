@@ -1,0 +1,37 @@
+//! Figure 4 (a–d): throughput and latency of Orthrus, ISS, RCC, Mir, DQBFT
+//! and Ladon in the LAN, with 0 and 1 straggler, sweeping the replica count.
+
+use orthrus_bench::harness::{self, BenchScale};
+use orthrus_types::{NetworkKind, ProtocolKind};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    for straggler in [false, true] {
+        let figure = if straggler { "fig4cd_lan_straggler" } else { "fig4ab_lan_no_straggler" };
+        harness::print_header(
+            &format!(
+                "Figure 4{} — LAN, {} straggler(s)",
+                if straggler { "c/d" } else { "a/b" },
+                u32::from(straggler)
+            ),
+            "replicas",
+        );
+        let mut points = Vec::new();
+        for &n in &scale.replica_counts() {
+            for protocol in ProtocolKind::ALL {
+                let scenario = harness::paper_scenario(
+                    protocol,
+                    NetworkKind::Lan,
+                    n,
+                    0.46,
+                    straggler,
+                    scale,
+                );
+                let point = harness::measure(protocol.label(), f64::from(n), &scenario);
+                harness::print_row(&point);
+                points.push(point);
+            }
+        }
+        harness::write_csv(figure, "replicas", &points);
+    }
+}

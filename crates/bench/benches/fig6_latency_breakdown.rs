@@ -1,0 +1,52 @@
+//! Figure 6 (and Figure 1b): latency breakdown of ISS versus Orthrus on 16
+//! WAN replicas with one 10× straggler, split into the five pipeline stages
+//! (send, preprocessing, partial ordering, global ordering, reply).
+
+use orthrus_bench::harness::{self, BenchScale};
+use orthrus_core::run_scenario;
+use orthrus_types::{NetworkKind, ProtocolKind};
+use std::fs;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let replicas = scale.fixed_replicas();
+    println!();
+    println!("=== Figure 6 / Figure 1b — latency breakdown, {replicas} replicas WAN, 1 straggler ===");
+    println!(
+        "{:<10} {:>10} {:>14} {:>18} {:>17} {:>10} {:>10}",
+        "protocol", "send s", "preprocess s", "partial order s", "global order s", "reply s", "global %"
+    );
+    let mut csv = String::from(
+        "protocol,send_s,preprocess_s,partial_ordering_s,global_ordering_s,reply_s,global_share\n",
+    );
+    for protocol in [ProtocolKind::Orthrus, ProtocolKind::Iss] {
+        let scenario =
+            harness::paper_scenario(protocol, NetworkKind::Wan, replicas, 0.46, true, scale);
+        let outcome = run_scenario(&scenario);
+        let b = outcome.breakdown;
+        println!(
+            "{:<10} {:>10.3} {:>14.3} {:>18.3} {:>17.3} {:>10.3} {:>9.1}%",
+            protocol.label(),
+            b.send.as_secs_f64(),
+            b.preprocess.as_secs_f64(),
+            b.partial_ordering.as_secs_f64(),
+            b.global_ordering.as_secs_f64(),
+            b.reply.as_secs_f64(),
+            b.global_ordering_share() * 100.0
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            protocol.label(),
+            b.send.as_secs_f64(),
+            b.preprocess.as_secs_f64(),
+            b.partial_ordering.as_secs_f64(),
+            b.global_ordering.as_secs_f64(),
+            b.reply.as_secs_f64(),
+            b.global_ordering_share()
+        ));
+    }
+    let path = harness::figure_csv_path("fig6_latency_breakdown");
+    if fs::write(&path, csv).is_ok() {
+        println!("(series written to {})", path.display());
+    }
+}

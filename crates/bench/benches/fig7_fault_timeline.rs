@@ -1,0 +1,60 @@
+//! Figure 7 (a/b): Orthrus throughput and latency over time with 0, 1 and 5
+//! detectable (crash) faults occurring 9 seconds into the run, averaged over
+//! 0.5 s intervals. The PBFT view-change timeout is 10 s as in the paper.
+
+use orthrus_bench::harness::{self, BenchScale};
+use orthrus_core::run_scenario;
+use orthrus_sim::FaultPlan;
+use orthrus_types::{Duration, NetworkKind, ProtocolKind, ReplicaId, SimTime};
+use std::fs;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let replicas = scale.fixed_replicas();
+    let fault_counts = [0u32, 1, 5.min(replicas / 3)];
+    println!();
+    println!("=== Figure 7 — throughput/latency over time under crash faults ({replicas} replicas WAN) ===");
+    let mut csv = String::from("faults,time_s,throughput_ktps,latency_s\n");
+    for &faults in &fault_counts {
+        let mut scenario = harness::paper_scenario(
+            ProtocolKind::Orthrus,
+            NetworkKind::Wan,
+            replicas,
+            0.46,
+            false,
+            scale,
+        );
+        // Spread submissions over a longer window so the run is still under
+        // load when the faults hit at t = 9 s, and keep the paper's 10 s
+        // view-change timeout.
+        scenario.submission_window = Duration::from_secs(25);
+        scenario.max_sim_time = Duration::from_secs(120);
+        scenario.config.view_change_timeout = Duration::from_secs(10);
+        let mut plan = FaultPlan::none();
+        for f in 0..faults {
+            // Crash replicas other than replica 0 so instance 0 keeps its
+            // leader and the crashes are spread over distinct instances.
+            plan = plan.with_crash(ReplicaId::new(1 + f), SimTime::from_secs(9));
+        }
+        scenario.faults = plan;
+
+        let outcome = run_scenario(&scenario);
+        println!(
+            "\n-- f = {faults}: {} / {} confirmed, {} view changes --",
+            outcome.confirmed, outcome.submitted, outcome.view_changes
+        );
+        println!("{:>8} {:>16} {:>12}", "time s", "throughput ktps", "latency s");
+        for (tp, lat) in outcome
+            .throughput_series
+            .iter()
+            .zip(outcome.latency_series.iter())
+        {
+            println!("{:>8.1} {:>16.3} {:>12.3}", tp.time_s, tp.value, lat.value);
+            csv.push_str(&format!("{},{},{},{}\n", faults, tp.time_s, tp.value, lat.value));
+        }
+    }
+    let path = harness::figure_csv_path("fig7_fault_timeline");
+    if fs::write(&path, csv).is_ok() {
+        println!("\n(series written to {})", path.display());
+    }
+}

@@ -1,0 +1,187 @@
+//! Criterion micro-benchmarks of the hot data structures and algorithms:
+//! escrow operations, the global-ordering policies, bucket assignment and the
+//! PBFT quorum state machine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use orthrus_core::Partitioner;
+use orthrus_execution::{EscrowLog, Executor, ObjectStore};
+use orthrus_ordering::{GlobalOrderingPolicy, LadonOrdering, PredeterminedOrdering};
+use orthrus_sb::{cluster::LocalCluster, SbMessage};
+use orthrus_types::{
+    Block, BlockParams, ClientId, Epoch, InstanceId, ObjectKey, ObjectOp, Rank, ReplicaId, SeqNum,
+    SystemState, Transaction, TxId, View,
+};
+
+fn make_block(instance: u32, sn: u64, rank: u64, txs: usize) -> Block {
+    let batch: Vec<Transaction> = (0..txs)
+        .map(|i| {
+            Transaction::payment(
+                TxId::new(ClientId::new((sn as usize * txs + i) as u64), 0),
+                ClientId::new(i as u64),
+                ClientId::new(i as u64 + 1),
+                1,
+            )
+        })
+        .collect();
+    Block::new(
+        BlockParams {
+            instance: InstanceId::new(instance),
+            sn: SeqNum::new(sn),
+            epoch: Epoch::new(0),
+            view: View::new(0),
+            proposer: ReplicaId::new(instance),
+            rank: Rank::new(rank),
+            state: SystemState::new(4),
+        },
+        batch,
+    )
+}
+
+fn bench_escrow(c: &mut Criterion) {
+    c.bench_function("escrow_commit_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut store = ObjectStore::new();
+                for k in 0..1_000u64 {
+                    store.create_account(ObjectKey::new(k), 1_000_000);
+                }
+                (store, EscrowLog::new())
+            },
+            |(mut store, mut elog)| {
+                for i in 0..1_000u64 {
+                    let tx = Transaction::payment(
+                        TxId::new(ClientId::new(i % 1_000), i),
+                        ClientId::new(i % 1_000),
+                        ClientId::new((i + 1) % 1_000),
+                        5,
+                    );
+                    let leg = ObjectOp::debit(ObjectKey::new(i % 1_000), 5);
+                    elog.escrow(&mut store, &leg, tx.id);
+                    elog.commit(&tx);
+                }
+                (store, elog)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_executor_fast_path(c: &mut Criterion) {
+    c.bench_function("executor_payment_fast_path_1k", |b| {
+        let assign = |key: ObjectKey| InstanceId::new((key.value() % 4) as u32);
+        b.iter_batched(
+            || {
+                let mut store = ObjectStore::new();
+                for k in 0..1_000u64 {
+                    store.create_account(ObjectKey::new(k), 1_000_000);
+                }
+                Executor::with_store(store)
+            },
+            |mut exec| {
+                for i in 0..1_000u64 {
+                    let tx = Transaction::payment(
+                        TxId::new(ClientId::new(i % 1_000), i),
+                        ClientId::new(i % 1_000),
+                        ClientId::new((i + 7) % 1_000),
+                        3,
+                    );
+                    let instance = assign(ObjectKey::new(i % 1_000));
+                    exec.process_plog_tx(&tx, instance, &assign);
+                }
+                exec
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ordering_policies(c: &mut Criterion) {
+    let m = 16u32;
+    let blocks: Vec<Block> = (0..m)
+        .flat_map(|i| (0..8u64).map(move |sn| (i, sn)))
+        .enumerate()
+        .map(|(idx, (i, sn))| make_block(i, sn, idx as u64 + 1, 0))
+        .collect();
+
+    c.bench_function("ladon_ordering_128_blocks", |b| {
+        b.iter_batched(
+            || (LadonOrdering::new(m), blocks.clone()),
+            |(mut policy, blocks)| {
+                let mut confirmed = 0usize;
+                for block in blocks {
+                    confirmed += policy.on_deliver(block).len();
+                }
+                confirmed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("predetermined_ordering_128_blocks", |b| {
+        b.iter_batched(
+            || (PredeterminedOrdering::new(m), blocks.clone()),
+            |(mut policy, blocks)| {
+                let mut confirmed = 0usize;
+                for block in blocks {
+                    confirmed += policy.on_deliver(block).len();
+                }
+                confirmed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let partitioner = Partitioner::new(128);
+    let txs: Vec<Transaction> = (0..1_000u64)
+        .map(|i| {
+            Transaction::payment(
+                TxId::new(ClientId::new(i), 0),
+                ClientId::new(i),
+                ClientId::new(i + 1),
+                1,
+            )
+        })
+        .collect();
+    c.bench_function("bucket_assignment_1k_txs", |b| {
+        b.iter(|| {
+            txs.iter()
+                .map(|tx| partitioner.instances_of(tx).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_pbft_round(c: &mut Criterion) {
+    c.bench_function("pbft_deliver_one_block_n4", |b| {
+        b.iter_batched(
+            || LocalCluster::new(InstanceId::new(0), 4, 64),
+            |mut cluster| {
+                cluster.propose(ReplicaId::new(0), make_block(0, 0, 1, 64));
+                cluster.run();
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("pbft_message_wire_size", |b| {
+        let block = make_block(0, 0, 1, 256);
+        b.iter(|| {
+            let msg = SbMessage::PrePrepare { block: block.clone() };
+            orthrus_sim::Payload::wire_bytes(&msg)
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_escrow,
+        bench_executor_fast_path,
+        bench_ordering_policies,
+        bench_partitioner,
+        bench_pbft_round
+);
+criterion_main!(micro);

@@ -1,0 +1,217 @@
+//! Shared machinery for the figure-reproduction benches.
+
+use orthrus_core::{run_scenario, Scenario};
+use orthrus_sim::FaultPlan;
+use orthrus_types::{Duration, NetworkKind, ProtocolKind, ReplicaId};
+use orthrus_workload::WorkloadConfig;
+use std::fs;
+use std::path::PathBuf;
+
+/// How large an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Reduced scale: a few replicas and a few thousand transactions so the
+    /// whole suite completes quickly on a laptop.
+    Reduced,
+    /// The paper's scale: 8–128 replicas and the full 200k-transaction
+    /// workload. Enable with `ORTHRUS_FULL_SCALE=1`.
+    Full,
+}
+
+impl BenchScale {
+    /// Pick the scale from the `ORTHRUS_FULL_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("ORTHRUS_FULL_SCALE") {
+            Ok(value) if value == "1" || value.eq_ignore_ascii_case("true") => BenchScale::Full,
+            _ => BenchScale::Reduced,
+        }
+    }
+
+    /// Replica counts swept by Figures 3 and 4.
+    pub fn replica_counts(self) -> Vec<u32> {
+        match self {
+            BenchScale::Reduced => vec![4, 8, 16],
+            BenchScale::Full => vec![8, 16, 32, 64, 128],
+        }
+    }
+
+    /// Number of transactions per run.
+    pub fn transactions(self) -> usize {
+        match self {
+            BenchScale::Reduced => 2_000,
+            BenchScale::Full => 200_000,
+        }
+    }
+
+    /// Number of accounts in the synthetic trace.
+    pub fn accounts(self) -> u64 {
+        match self {
+            BenchScale::Reduced => 2_000,
+            BenchScale::Full => 18_000,
+        }
+    }
+
+    /// Batch size (the paper uses 4096; the reduced scale uses a smaller
+    /// batch so several blocks are produced per instance even with few
+    /// transactions).
+    pub fn batch_size(self) -> usize {
+        match self {
+            BenchScale::Reduced => 256,
+            BenchScale::Full => 4_096,
+        }
+    }
+
+    /// Replica count used by the fixed-size experiments (Figs. 5–8 use 16).
+    pub fn fixed_replicas(self) -> u32 {
+        match self {
+            BenchScale::Reduced => 8,
+            BenchScale::Full => 16,
+        }
+    }
+}
+
+/// Replica counts for the current scale (convenience wrapper).
+pub fn replica_counts() -> Vec<u32> {
+    BenchScale::from_env().replica_counts()
+}
+
+/// One measured point of a figure series.
+#[derive(Debug, Clone)]
+pub struct MeasuredPoint {
+    /// Protocol label (matches the paper's legends).
+    pub protocol: String,
+    /// X-axis value (replica count, payment share, time, fault count …).
+    pub x: f64,
+    /// Throughput in ktps.
+    pub throughput_ktps: f64,
+    /// Average latency in seconds.
+    pub latency_s: f64,
+}
+
+/// Build the scenario shared by the figure benches.
+pub fn paper_scenario(
+    protocol: ProtocolKind,
+    network: NetworkKind,
+    replicas: u32,
+    payment_share: f64,
+    straggler: bool,
+    scale: BenchScale,
+) -> Scenario {
+    let workload = WorkloadConfig {
+        num_accounts: scale.accounts(),
+        num_transactions: scale.transactions(),
+        payment_share,
+        multi_payer_share: 0.05,
+        num_shared_objects: 256,
+        ..WorkloadConfig::default()
+    };
+    let mut scenario = Scenario::new(protocol, network, replicas)
+        .with_workload(workload)
+        .with_seed(42);
+    scenario.config.batch_size = scale.batch_size();
+    scenario.config.batch_timeout = Duration::from_millis(50);
+    scenario.submission_window = Duration::from_secs(5);
+    scenario.max_sim_time = Duration::from_secs(600);
+    scenario.num_clients = 8;
+    if straggler {
+        scenario.faults = FaultPlan::one_straggler(ReplicaId::new(0));
+    }
+    scenario
+}
+
+/// Run one scenario and convert the outcome into a measured point.
+pub fn measure(label: &str, x: f64, scenario: &Scenario) -> MeasuredPoint {
+    let outcome = run_scenario(scenario);
+    MeasuredPoint {
+        protocol: label.to_string(),
+        x,
+        throughput_ktps: outcome.throughput_ktps,
+        latency_s: outcome.avg_latency.as_secs_f64(),
+    }
+}
+
+/// Print the header of a figure table.
+pub fn print_header(figure: &str, x_label: &str) {
+    println!();
+    println!("=== {figure} ===");
+    println!(
+        "{:<10} {:>12} {:>16} {:>14}",
+        "protocol", x_label, "throughput ktps", "latency s"
+    );
+}
+
+/// Print one row of a figure table.
+pub fn print_row(point: &MeasuredPoint) {
+    println!(
+        "{:<10} {:>12.2} {:>16.3} {:>14.3}",
+        point.protocol, point.x, point.throughput_ktps, point.latency_s
+    );
+}
+
+/// Location of the CSV output for a figure.
+pub fn figure_csv_path(figure: &str) -> PathBuf {
+    let dir = PathBuf::from("target").join("figures");
+    let _ = fs::create_dir_all(&dir);
+    dir.join(format!("{figure}.csv"))
+}
+
+/// Write the measured series of a figure to `target/figures/<figure>.csv`.
+pub fn write_csv(figure: &str, x_label: &str, points: &[MeasuredPoint]) {
+    let mut csv = format!("protocol,{x_label},throughput_ktps,latency_s\n");
+    for p in points {
+        csv.push_str(&format!(
+            "{},{},{},{}\n",
+            p.protocol, p.x, p.throughput_ktps, p.latency_s
+        ));
+    }
+    let path = figure_csv_path(figure);
+    if let Err(err) = fs::write(&path, csv) {
+        eprintln!("warning: could not write {}: {err}", path.display());
+    } else {
+        println!("(series written to {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_scale_is_small() {
+        let scale = BenchScale::Reduced;
+        assert!(scale.replica_counts().iter().all(|n| *n <= 16));
+        assert!(scale.transactions() <= 10_000);
+    }
+
+    #[test]
+    fn full_scale_matches_the_paper() {
+        let scale = BenchScale::Full;
+        assert_eq!(scale.replica_counts(), vec![8, 16, 32, 64, 128]);
+        assert_eq!(scale.transactions(), 200_000);
+        assert_eq!(scale.accounts(), 18_000);
+        assert_eq!(scale.batch_size(), 4_096);
+        assert_eq!(scale.fixed_replicas(), 16);
+    }
+
+    #[test]
+    fn scenario_builder_applies_parameters() {
+        let s = paper_scenario(
+            ProtocolKind::Orthrus,
+            NetworkKind::Wan,
+            8,
+            0.46,
+            true,
+            BenchScale::Reduced,
+        );
+        assert_eq!(s.config.num_replicas, 8);
+        assert_eq!(s.workload.payment_share, 0.46);
+        assert_eq!(s.faults.stragglers.len(), 1);
+        assert_eq!(s.config.batch_size, BenchScale::Reduced.batch_size());
+    }
+
+    #[test]
+    fn csv_path_is_under_target() {
+        let path = figure_csv_path("fig_test");
+        assert!(path.to_string_lossy().contains("figures"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # orthrus-bench
+//!
+//! The benchmark harness that regenerates every figure of the paper's
+//! evaluation (§VII) plus micro-benchmarks and ablations.
+//!
+//! Each figure has a dedicated `cargo bench` target (see `benches/`). All of
+//! them go through the [`harness`] module here, which:
+//!
+//! * builds the scenarios (protocols × replica counts × fault plans) with the
+//!   paper's parameters (batch size 4096, 500-byte payloads, 46% payments,
+//!   10× straggler, 10 s view-change timeout);
+//! * scales the experiment down by default so `cargo bench` finishes in
+//!   minutes — set `ORTHRUS_FULL_SCALE=1` to run the full 8–128 replica
+//!   sweep with the full 200k-transaction workload;
+//! * prints the same series the paper plots and writes CSV files to
+//!   `target/figures/` so results can be plotted and compared against the
+//!   paper (see `EXPERIMENTS.md`).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    figure_csv_path, measure, print_header, print_row, replica_counts, write_csv, BenchScale,
+    MeasuredPoint,
+};

@@ -1,0 +1,92 @@
+//! Network messages exchanged between clients and replicas.
+
+use orthrus_execution::TxOutcome;
+use orthrus_sb::SbMessage;
+use orthrus_sim::Payload;
+use orthrus_types::{InstanceId, ReplicaId, Transaction, TxId};
+
+/// Outcome reported back to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The transaction executed successfully.
+    Committed,
+    /// The transaction was aborted (e.g. insufficient funds).
+    Aborted,
+}
+
+impl From<TxOutcome> for ReplyStatus {
+    fn from(value: TxOutcome) -> Self {
+        match value {
+            TxOutcome::Committed => ReplyStatus::Committed,
+            TxOutcome::Aborted => ReplyStatus::Aborted,
+        }
+    }
+}
+
+/// The message type carried by the discrete-event network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetMessage {
+    /// Client → replica: submit a transaction. Clients broadcast each
+    /// transaction to at least `f + 1` replicas (paper §V-B, censorship
+    /// resistance).
+    ClientRequest {
+        /// The submitted transaction.
+        tx: Transaction,
+    },
+    /// Replica → replica: a PBFT message of one SB instance.
+    Consensus {
+        /// Which SB instance the message belongs to.
+        instance: InstanceId,
+        /// The PBFT payload.
+        inner: SbMessage,
+    },
+    /// Replica → client: the transaction was confirmed at this replica.
+    ClientReply {
+        /// The confirmed transaction.
+        tx: TxId,
+        /// Commit or abort.
+        status: ReplyStatus,
+        /// The replying replica.
+        replica: ReplicaId,
+    },
+}
+
+impl Payload for NetMessage {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            NetMessage::ClientRequest { tx } => u64::from(tx.payload_bytes) + 64,
+            NetMessage::Consensus { inner, .. } => inner.wire_bytes() + 16,
+            NetMessage::ClientReply { .. } => 96,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_types::ClientId;
+
+    #[test]
+    fn wire_sizes() {
+        let tx = Transaction::payment(
+            TxId::new(ClientId::new(1), 0),
+            ClientId::new(1),
+            ClientId::new(2),
+            5,
+        );
+        let request = NetMessage::ClientRequest { tx };
+        assert_eq!(request.wire_bytes(), 500 + 64);
+        let reply = NetMessage::ClientReply {
+            tx: TxId::new(ClientId::new(1), 0),
+            status: ReplyStatus::Committed,
+            replica: ReplicaId::new(0),
+        };
+        assert_eq!(reply.wire_bytes(), 96);
+    }
+
+    #[test]
+    fn reply_status_from_outcome() {
+        assert_eq!(ReplyStatus::from(TxOutcome::Committed), ReplyStatus::Committed);
+        assert_eq!(ReplyStatus::from(TxOutcome::Aborted), ReplyStatus::Aborted);
+    }
+}

@@ -1,0 +1,724 @@
+//! The Multi-BFT replica node.
+//!
+//! One [`ReplicaNode`] hosts everything a replica runs in the paper's
+//! architecture (Fig. 2): the partition module (buckets), one PBFT
+//! sequenced-broadcast instance per bucket, the ordering module (partial
+//! logs, a global-ordering policy and the global log) and the execution
+//! module (escrow + object store). The same node implements Orthrus and all
+//! five baselines; the [`ProtocolKind`] only changes which ordering policy is
+//! used and whether payments take the partial-ordering fast path.
+
+use crate::messages::{NetMessage, ReplyStatus};
+use crate::partition::{Bucket, Partitioner};
+use orthrus_execution::{Executor, ObjectStore, TxOutcome};
+use orthrus_ordering::{
+    DqbftOrdering, GlobalLog, GlobalOrderingPolicy, LadonOrdering, PartialLogs,
+    PredeterminedOrdering, RankTracker,
+};
+use orthrus_sb::{PbftConfig, PbftInstance, ProgressTracker, SbAction};
+use orthrus_sim::{Actor, Context, LatencyStage, NodeId};
+use orthrus_types::{
+    Block, BlockParams, Epoch, InstanceId, ProtocolConfig, ProtocolKind, ReplicaId,
+    SystemState, Transaction, TxId,
+};
+use std::any::Any;
+use std::collections::HashSet;
+
+/// Timer tag: leader batch timer (try to propose in every instance we lead).
+const TIMER_BATCH: u64 = 1;
+/// Timer tag: failure detector sweep.
+const TIMER_FAILURE_DETECTOR: u64 = 2;
+
+/// Maximum number of proposals a leader keeps in flight (beyond the delivered
+/// prefix) per instance.
+const MAX_INFLIGHT_BLOCKS: u64 = 4;
+
+/// The global-ordering policy selected by the protocol.
+enum Policy {
+    Predetermined(PredeterminedOrdering),
+    Dqbft(DqbftOrdering),
+    Ladon(LadonOrdering),
+}
+
+impl Policy {
+    fn for_protocol(protocol: ProtocolKind, m: u32) -> Self {
+        match protocol {
+            ProtocolKind::Iss | ProtocolKind::MirBft | ProtocolKind::Rcc => {
+                Policy::Predetermined(PredeterminedOrdering::new(m))
+            }
+            ProtocolKind::Dqbft => Policy::Dqbft(DqbftOrdering::new()),
+            ProtocolKind::Ladon | ProtocolKind::Orthrus => Policy::Ladon(LadonOrdering::new(m)),
+        }
+    }
+
+    fn on_deliver(&mut self, block: Block) -> Vec<Block> {
+        match self {
+            Policy::Predetermined(p) => p.on_deliver(block),
+            Policy::Dqbft(p) => p.on_deliver(block),
+            Policy::Ladon(p) => p.on_deliver(block),
+        }
+    }
+
+    fn on_order_decision(&mut self, id: orthrus_types::BlockId) -> Vec<Block> {
+        match self {
+            Policy::Predetermined(p) => p.on_order_decision(id),
+            Policy::Dqbft(p) => p.on_order_decision(id),
+            Policy::Ladon(p) => p.on_order_decision(id),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        match self {
+            Policy::Predetermined(p) => p.pending(),
+            Policy::Dqbft(p) => p.pending(),
+            Policy::Ladon(p) => p.pending(),
+        }
+    }
+}
+
+/// A Multi-BFT replica (Orthrus or one of the baselines).
+pub struct ReplicaNode {
+    me: ReplicaId,
+    protocol: ProtocolKind,
+    config: ProtocolConfig,
+    partitioner: Partitioner,
+    buckets: Vec<Bucket>,
+    instances: Vec<PbftInstance>,
+    plogs: PartialLogs,
+    glog: GlobalLog,
+    policy: Policy,
+    executor: Executor,
+    rank: RankTracker,
+    progress: ProgressTracker,
+    /// Blocks whose partial-log execution has completed, per instance.
+    executed_state: SystemState,
+    /// DQBFT: data-block ids awaiting a slot in the ordering instance
+    /// (only used by the ordering instance's leader).
+    pending_order_decisions: Vec<orthrus_types::BlockId>,
+    /// Transactions already answered to their client.
+    replied: HashSet<TxId>,
+    /// Undetectable-fault behaviour: keep leading our own instance but ignore
+    /// every other instance (paper §VII-E).
+    selfish: bool,
+    /// Total number of blocks this replica delivered across instances.
+    delivered_blocks: u64,
+}
+
+impl ReplicaNode {
+    /// Build a replica for `protocol` with the given genesis state.
+    pub fn new(
+        me: ReplicaId,
+        protocol: ProtocolKind,
+        config: ProtocolConfig,
+        genesis: ObjectStore,
+    ) -> Self {
+        let m = config.num_instances;
+        let total_instances = if protocol == ProtocolKind::Dqbft { m + 1 } else { m };
+        let instances = (0..total_instances)
+            .map(|i| {
+                PbftInstance::new(PbftConfig {
+                    instance: InstanceId::new(i),
+                    me,
+                    num_replicas: config.num_replicas,
+                    checkpoint_interval: config.checkpoint_interval,
+                })
+            })
+            .collect();
+        Self {
+            me,
+            protocol,
+            partitioner: Partitioner::new(m),
+            buckets: (0..m).map(|_| Bucket::new()).collect(),
+            instances,
+            plogs: PartialLogs::new(m),
+            glog: GlobalLog::new(),
+            policy: Policy::for_protocol(protocol, m),
+            executor: Executor::with_store(genesis),
+            rank: RankTracker::new(),
+            progress: ProgressTracker::new(config.view_change_timeout),
+            executed_state: SystemState::new(m as usize),
+            pending_order_decisions: Vec::new(),
+            replied: HashSet::new(),
+            selfish: false,
+            delivered_blocks: 0,
+            config,
+        }
+    }
+
+    /// Mark this replica as a "selfish" Byzantine node: it keeps proposing in
+    /// the instance it leads but ignores all other instances (undetectable
+    /// fault of §VII-E).
+    pub fn set_selfish(&mut self, selfish: bool) {
+        self.selfish = selfish;
+    }
+
+    /// The protocol this replica runs.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// Access to the execution engine (final balances, outcomes, digests).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The replica's global log (for cross-replica agreement checks).
+    pub fn global_log(&self) -> &GlobalLog {
+        &self.glog
+    }
+
+    /// Number of blocks delivered across all SB instances.
+    pub fn delivered_blocks(&self) -> u64 {
+        self.delivered_blocks
+    }
+
+    /// Number of transactions this replica has confirmed to clients.
+    pub fn confirmed_transactions(&self) -> usize {
+        self.replied.len()
+    }
+
+    /// The DQBFT ordering instance id (one past the data instances).
+    fn ordering_instance(&self) -> InstanceId {
+        InstanceId::new(self.config.num_instances)
+    }
+
+    fn is_ordering_instance(&self, instance: InstanceId) -> bool {
+        self.protocol == ProtocolKind::Dqbft && instance == self.ordering_instance()
+    }
+
+    fn all_replicas(&self) -> Vec<NodeId> {
+        (0..self.config.num_replicas)
+            .filter(|r| ReplicaId::new(*r) != self.me)
+            .map(NodeId::replica)
+            .collect()
+    }
+
+    /// Snapshot of the delivered state `S` across all data instances, used as
+    /// the `b.S` reference in new proposals.
+    fn delivered_state(&self) -> SystemState {
+        let mut state = SystemState::new(self.config.num_instances as usize);
+        for (idx, inst) in self
+            .instances
+            .iter()
+            .enumerate()
+            .take(self.config.num_instances as usize)
+        {
+            if let Some(sn) = inst.last_delivered() {
+                state.observe(InstanceId::new(idx as u32), sn);
+            }
+        }
+        state
+    }
+
+    // ------------------------------------------------------------------
+    // Outbound plumbing
+    // ------------------------------------------------------------------
+
+    fn apply_sb_actions(
+        &mut self,
+        instance: InstanceId,
+        actions: Vec<SbAction>,
+        ctx: &mut Context<'_, NetMessage>,
+    ) {
+        for action in actions {
+            match action {
+                SbAction::Send { to, msg } => {
+                    ctx.send(
+                        NodeId::Replica(to),
+                        NetMessage::Consensus {
+                            instance,
+                            inner: msg,
+                        },
+                    );
+                }
+                SbAction::Broadcast { msg } => {
+                    let targets = self.all_replicas();
+                    ctx.multicast(
+                        targets,
+                        NetMessage::Consensus {
+                            instance,
+                            inner: msg,
+                        },
+                    );
+                }
+                SbAction::Deliver { block } => {
+                    self.on_block_delivered(instance, block, ctx);
+                }
+                SbAction::ViewChanged { leader, .. } => {
+                    ctx.stats().view_change_completed();
+                    self.progress.record_progress(instance, ctx.now());
+                    // Make sure the new leader knows about every transaction
+                    // still pending in this bucket: the old leader may have
+                    // been the only replica the client contacted.
+                    if leader != self.me && !self.is_ordering_instance(instance) {
+                        let pending: Vec<Transaction> = self.buckets[instance.as_usize()]
+                            .pull(usize::MAX, |_| true);
+                        for tx in pending {
+                            ctx.send(
+                                NodeId::Replica(leader),
+                                NetMessage::ClientRequest { tx: tx.clone() },
+                            );
+                            // Keep a local copy so censorship by the new
+                            // leader can still be detected.
+                            self.buckets[instance.as_usize()].push(tx);
+                        }
+                    }
+                }
+                SbAction::StableCheckpoint { sn } => {
+                    if !self.is_ordering_instance(instance) {
+                        self.plogs.get_mut(instance).garbage_collect(sn);
+                    }
+                }
+            }
+        }
+    }
+
+    fn confirm_tx(&mut self, tx: TxId, outcome: TxOutcome, ctx: &mut Context<'_, NetMessage>) {
+        if !self.replied.insert(tx) {
+            return;
+        }
+        let now = ctx.now();
+        ctx.stats().stage_reached(tx, LatencyStage::GlobalOrdering, now);
+        ctx.send(
+            NodeId::Client(self.config.client_actor_of(tx.client)),
+            NetMessage::ClientReply {
+                tx,
+                status: ReplyStatus::from(outcome),
+                replica: self.me,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery, global ordering and execution
+    // ------------------------------------------------------------------
+
+    fn on_block_delivered(
+        &mut self,
+        instance: InstanceId,
+        block: Block,
+        ctx: &mut Context<'_, NetMessage>,
+    ) {
+        self.delivered_blocks += 1;
+        ctx.stats().block_delivered();
+        self.progress.record_progress(instance, ctx.now());
+        self.rank.observe_block(&block);
+
+        if self.is_ordering_instance(instance) {
+            // DQBFT: the delivered block carries ordering decisions.
+            let ids = block.header.ordered_ids.clone();
+            for id in ids {
+                let confirmed = self.policy.on_order_decision(id);
+                self.handle_globally_confirmed(confirmed, ctx);
+            }
+            return;
+        }
+
+        // Partition-module bookkeeping: these transactions are no longer
+        // pending in this instance's bucket.
+        for tx in &block.txs {
+            self.buckets[instance.as_usize()].mark_delivered(tx.id);
+            let now = ctx.now();
+            ctx.stats().stage_reached(tx.id, LatencyStage::PartialOrdering, now);
+        }
+        if !self.buckets[instance.as_usize()].has_pending() {
+            self.progress.clear_expectation(instance);
+        }
+
+        // Ordering module: partial log + global ordering policy.
+        self.plogs.get_mut(instance).insert(block.clone());
+        if self.protocol == ProtocolKind::Dqbft {
+            let ordering_leader = self.config.num_instances % self.config.num_replicas;
+            if self.me == ReplicaId::new(ordering_leader) {
+                self.pending_order_decisions.push(block.id());
+            }
+        }
+        let confirmed = self.policy.on_deliver(block);
+        self.handle_globally_confirmed(confirmed, ctx);
+
+        // Execution module: advance the partial-log fast path, then any glog
+        // entries that were waiting for those escrows.
+        self.process_partial_logs(ctx);
+        self.process_global_log(ctx);
+
+        // DQBFT: the ordering leader proposes decisions as soon as it has
+        // some (batched opportunistically; the batch timer also retries).
+        self.try_propose_ordering(ctx);
+    }
+
+    /// Walk every partial log and execute blocks whose referenced state `b.S`
+    /// is covered by what we have already executed (paper §V-C).
+    fn process_partial_logs(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        let assign = self.partitioner;
+        loop {
+            let mut progressed = false;
+            for i in 0..self.config.num_instances {
+                let instance = InstanceId::new(i);
+                let ready = {
+                    let plog = self.plogs.get_mut(instance);
+                    match plog.first_pending() {
+                        Some(block) => self.executed_state.covers(&block.header.state),
+                        None => false,
+                    }
+                };
+                if !ready {
+                    continue;
+                }
+                let block = self
+                    .plogs
+                    .get_mut(instance)
+                    .pop_pending()
+                    .expect("first_pending was Some");
+                if self.protocol == ProtocolKind::Orthrus {
+                    // Fast path: escrow + commit payments straight from the
+                    // partial log (Algorithm 1 lines 20–30).
+                    let outcomes: Vec<(TxId, Option<TxOutcome>)> = block
+                        .txs
+                        .iter()
+                        .map(|tx| {
+                            (
+                                tx.id,
+                                self.executor.process_plog_tx(tx, instance, &|key| {
+                                    assign.assign(key)
+                                }),
+                            )
+                        })
+                        .collect();
+                    for (tx, outcome) in outcomes {
+                        if let Some(outcome) = outcome {
+                            self.confirm_tx(tx, outcome, ctx);
+                        }
+                    }
+                }
+                self.executed_state.observe(instance, block.header.sn);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Append globally confirmed blocks to the glog and execute whatever
+    /// prefix of the glog is ready according to the protocol's execution
+    /// rule.
+    fn handle_globally_confirmed(
+        &mut self,
+        confirmed: Vec<Block>,
+        ctx: &mut Context<'_, NetMessage>,
+    ) {
+        for block in confirmed {
+            self.glog.append(block);
+        }
+        self.process_global_log(ctx);
+    }
+
+    /// Execute globally ordered blocks from the glog cursor onwards.
+    ///
+    /// For Orthrus the execution of a glog entry "must strictly align with
+    /// the global state at its designated position" (§V-C): we only execute a
+    /// glog block once its own partial-log processing (which performs the
+    /// escrow operations of its transactions) has completed, so that
+    /// `allEscrowed` reflects every leg that was going to be escrowed. The
+    /// baselines execute unconditionally in glog order, which is already
+    /// deterministic for them because all their effects happen here.
+    fn process_global_log(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        let assign = self.partitioner;
+        loop {
+            let ready = match self.glog.first_pending() {
+                Some(block) => {
+                    self.protocol != ProtocolKind::Orthrus
+                        || self
+                            .executed_state
+                            .get(block.header.instance)
+                            .is_some_and(|sn| sn >= block.header.sn)
+                }
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            let block = self.glog.pop_pending().expect("first_pending was Some");
+            for tx in &block.txs {
+                let outcome = match self.protocol {
+                    ProtocolKind::Orthrus => {
+                        // Only contract transactions still need the global
+                        // log; payments were confirmed on the fast path.
+                        self.executor
+                            .process_glog_tx(tx, &|key| assign.assign(key))
+                    }
+                    _ => Some(self.executor.process_sequential_tx(tx)),
+                };
+                if let Some(outcome) = outcome {
+                    self.confirm_tx(tx.id, outcome, ctx);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Proposal paths
+    // ------------------------------------------------------------------
+
+    /// Try to propose in every data instance this replica currently leads.
+    fn try_propose_all(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        for i in 0..self.config.num_instances {
+            self.try_propose_data(InstanceId::new(i), ctx);
+        }
+        self.try_propose_ordering(ctx);
+    }
+
+    fn try_propose_data(&mut self, instance: InstanceId, ctx: &mut Context<'_, NetMessage>) {
+        let idx = instance.as_usize();
+        if !self.instances[idx].is_leader() {
+            return;
+        }
+        let sn = self.instances[idx].next_propose_sn();
+        let delivered = self.instances[idx]
+            .last_delivered()
+            .map_or(0, |s| s.value() + 1);
+        if sn.value() >= delivered + MAX_INFLIGHT_BLOCKS {
+            return;
+        }
+        let executor = &self.executor;
+        let txs = self.buckets[idx].pull(self.config.batch_size, |tx| {
+            executor.speculative_valid(tx)
+        });
+        // When the bucket is empty but other instances have delivered blocks
+        // that cannot be globally confirmed yet (a gap in the pre-determined
+        // interleaving, or a stalled Ladon bar), fill our slot with a no-op
+        // block so the global log keeps moving (ISS's no-op mechanism).
+        let needs_noop = txs.is_empty() && self.policy.pending() > 0;
+        if txs.is_empty() && !needs_noop {
+            return;
+        }
+        let params = BlockParams {
+            instance,
+            sn,
+            epoch: Epoch::new(sn.value() / self.config.epoch_length.max(1)),
+            view: self.instances[idx].current_view(),
+            proposer: self.me,
+            rank: self.rank.next_rank(),
+            state: self.delivered_state(),
+        };
+        let block = if txs.is_empty() {
+            Block::no_op(params)
+        } else {
+            for tx in &txs {
+                let now = ctx.now();
+                ctx.stats().stage_reached(tx.id, LatencyStage::Preprocess, now);
+            }
+            Block::new(params, txs)
+        };
+        let actions = self.instances[idx].propose(block, ctx.now());
+        self.progress.record_expectation(instance, ctx.now());
+        self.apply_sb_actions(instance, actions, ctx);
+    }
+
+    fn try_propose_ordering(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        if self.protocol != ProtocolKind::Dqbft || self.pending_order_decisions.is_empty() {
+            return;
+        }
+        let instance = self.ordering_instance();
+        let idx = instance.as_usize();
+        if !self.instances[idx].is_leader() {
+            return;
+        }
+        let sn = self.instances[idx].next_propose_sn();
+        let delivered = self.instances[idx]
+            .last_delivered()
+            .map_or(0, |s| s.value() + 1);
+        if sn.value() >= delivered + MAX_INFLIGHT_BLOCKS {
+            return;
+        }
+        let ids = std::mem::take(&mut self.pending_order_decisions);
+        let params = BlockParams {
+            instance,
+            sn,
+            epoch: Epoch::new(sn.value() / self.config.epoch_length.max(1)),
+            view: self.instances[idx].current_view(),
+            proposer: self.me,
+            rank: self.rank.next_rank(),
+            state: self.delivered_state(),
+        };
+        let block = Block::ordering(params, ids);
+        let actions = self.instances[idx].propose(block, ctx.now());
+        self.apply_sb_actions(instance, actions, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound handlers
+    // ------------------------------------------------------------------
+
+    fn on_client_request(
+        &mut self,
+        from: NodeId,
+        tx: Transaction,
+        ctx: &mut Context<'_, NetMessage>,
+    ) {
+        if tx.validate().is_err() {
+            return;
+        }
+        if self.replied.contains(&tx.id) {
+            return;
+        }
+        let now = ctx.now();
+        ctx.stats().stage_reached(tx.id, LatencyStage::Send, now);
+        let forward = !from.is_replica();
+        for instance in self.partitioner.instances_of(&tx) {
+            if self.buckets[instance.as_usize()].push(tx.clone()) {
+                self.progress.record_expectation(instance, ctx.now());
+            }
+            // Clients only contact f + 1 replicas (censorship resistance,
+            // §V-B); whichever replica receives the request relays it to the
+            // instance's current leader so it can be proposed promptly.
+            // Requests relayed by other replicas are not forwarded again,
+            // which keeps the relay loop-free.
+            if forward {
+                let leader = self.instances[instance.as_usize()].current_leader();
+                if leader != self.me {
+                    ctx.send(
+                        NodeId::Replica(leader),
+                        NetMessage::ClientRequest { tx: tx.clone() },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_consensus(
+        &mut self,
+        from: ReplicaId,
+        instance: InstanceId,
+        inner: orthrus_sb::SbMessage,
+        ctx: &mut Context<'_, NetMessage>,
+    ) {
+        let idx = instance.as_usize();
+        if idx >= self.instances.len() {
+            return;
+        }
+        if self.selfish {
+            // Undetectable fault: participate only in the instance we lead.
+            let leads_it = self.instances[idx].current_leader() == self.me;
+            if !leads_it {
+                return;
+            }
+        }
+        let actions = self.instances[idx].handle_message(from, inner, ctx.now());
+        self.apply_sb_actions(instance, actions, ctx);
+    }
+
+    fn on_failure_detector_sweep(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        let now = ctx.now();
+        for i in 0..self.instances.len() {
+            let instance = InstanceId::new(i as u32);
+            if self.instances[i].in_view_change() {
+                continue;
+            }
+            if self.progress.should_suspect(instance, now) {
+                let actions = self.instances[i].on_timeout(now);
+                // Suspicion handled; reset the expectation clock so we do not
+                // immediately re-suspect the new leader.
+                self.progress.record_progress(instance, now);
+                self.apply_sb_actions(instance, actions, ctx);
+            }
+        }
+    }
+}
+
+impl Actor<NetMessage> for ReplicaNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        ctx.set_timer(self.config.batch_timeout, TIMER_BATCH);
+        let sweep = orthrus_types::Duration::from_micros(
+            (self.config.view_change_timeout.as_micros() / 4).max(1_000),
+        );
+        ctx.set_timer(sweep, TIMER_FAILURE_DETECTOR);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: NetMessage, ctx: &mut Context<'_, NetMessage>) {
+        match msg {
+            NetMessage::ClientRequest { tx } => self.on_client_request(from, tx, ctx),
+            NetMessage::Consensus { instance, inner } => {
+                if let Some(replica) = from.as_replica() {
+                    self.on_consensus(replica, instance, inner, ctx);
+                }
+            }
+            NetMessage::ClientReply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, NetMessage>) {
+        match tag {
+            TIMER_BATCH => {
+                self.try_propose_all(ctx);
+                ctx.set_timer(self.config.batch_timeout, TIMER_BATCH);
+            }
+            TIMER_FAILURE_DETECTOR => {
+                self.on_failure_detector_sweep(ctx);
+                let sweep = orthrus_types::Duration::from_micros(
+                    (self.config.view_change_timeout.as_micros() / 4).max(1_000),
+                );
+                ctx.set_timer(sweep, TIMER_FAILURE_DETECTOR);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genesis() -> ObjectStore {
+        let mut store = ObjectStore::new();
+        for k in 0..16u64 {
+            store.create_account(orthrus_types::ObjectKey::new(k), 1_000);
+        }
+        store
+    }
+
+    #[test]
+    fn replica_construction_per_protocol() {
+        for protocol in ProtocolKind::ALL {
+            let config = ProtocolConfig::for_replicas(4);
+            let node = ReplicaNode::new(ReplicaId::new(0), protocol, config.clone(), genesis());
+            assert_eq!(node.protocol(), protocol);
+            let expected_instances = if protocol == ProtocolKind::Dqbft { 5 } else { 4 };
+            assert_eq!(node.instances.len(), expected_instances);
+            assert_eq!(node.buckets.len(), 4);
+            assert_eq!(node.confirmed_transactions(), 0);
+            assert_eq!(node.delivered_blocks(), 0);
+        }
+    }
+
+    #[test]
+    fn ordering_instance_id_is_one_past_data_instances() {
+        let config = ProtocolConfig::for_replicas(4);
+        let node = ReplicaNode::new(ReplicaId::new(1), ProtocolKind::Dqbft, config, genesis());
+        assert_eq!(node.ordering_instance(), InstanceId::new(4));
+        assert!(node.is_ordering_instance(InstanceId::new(4)));
+        assert!(!node.is_ordering_instance(InstanceId::new(0)));
+    }
+
+    #[test]
+    fn delivered_state_tracks_instances() {
+        let config = ProtocolConfig::for_replicas(4);
+        let node = ReplicaNode::new(ReplicaId::new(0), ProtocolKind::Orthrus, config, genesis());
+        let s = node.delivered_state();
+        assert_eq!(s.num_instances(), 4);
+        assert_eq!(s.total_delivered_blocks(), 0);
+    }
+
+    #[test]
+    fn all_replicas_excludes_self() {
+        let config = ProtocolConfig::for_replicas(4);
+        let node = ReplicaNode::new(ReplicaId::new(2), ProtocolKind::Iss, config, genesis());
+        let peers = node.all_replicas();
+        assert_eq!(peers.len(), 3);
+        assert!(!peers.contains(&NodeId::replica(2)));
+    }
+}

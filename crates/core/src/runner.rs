@@ -1,0 +1,409 @@
+//! Scenario runner: builds a complete Multi-BFT deployment inside the
+//! discrete-event simulation, drives it with a workload and extracts the
+//! metrics the paper reports.
+//!
+//! Every benchmark harness and most integration tests go through
+//! [`run_scenario`]: it is the single entry point that assembles replicas,
+//! clients, network model and fault plan from a declarative [`Scenario`].
+
+use crate::client::ClientNode;
+use crate::messages::NetMessage;
+use crate::replica::ReplicaNode;
+use orthrus_execution::ObjectStore;
+use orthrus_sim::stats::LatencyBreakdown;
+use orthrus_sim::{FaultPlan, NetworkConfig, NodeId, Simulation, SimulationReport, ThroughputPoint};
+use orthrus_types::{
+    Digest, Duration, NetworkKind, ProtocolConfig, ProtocolKind, ReplicaId, SimTime,
+};
+use orthrus_workload::{Workload, WorkloadConfig};
+
+/// A declarative description of one simulation run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which protocol every replica runs.
+    pub protocol: ProtocolKind,
+    /// LAN or WAN network model.
+    pub network: NetworkKind,
+    /// Protocol configuration (replica count, batch size, timeouts).
+    pub config: ProtocolConfig,
+    /// Workload configuration (accounts, transaction count, payment share).
+    pub workload: WorkloadConfig,
+    /// Fault plan (crashes, stragglers, selfish replicas).
+    pub faults: FaultPlan,
+    /// Number of client / load-generator actors.
+    pub num_clients: u64,
+    /// The window over which client submissions are spread (open loop).
+    pub submission_window: Duration,
+    /// Hard limit on simulated time.
+    pub max_sim_time: Duration,
+    /// Seed for workload generation and network jitter.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults for `n` replicas running
+    /// `protocol` over `network`.
+    pub fn new(protocol: ProtocolKind, network: NetworkKind, num_replicas: u32) -> Self {
+        Self {
+            protocol,
+            network,
+            config: ProtocolConfig::for_replicas(num_replicas),
+            workload: WorkloadConfig::small(),
+            faults: FaultPlan::none(),
+            num_clients: 4,
+            submission_window: Duration::from_secs(2),
+            max_sim_time: Duration::from_secs(120),
+            seed: 42,
+        }
+    }
+
+    /// Use the given workload configuration.
+    pub fn with_workload(mut self, workload: WorkloadConfig) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Use the given fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Add the paper's standard straggler: the leader of instance 0 is 10×
+    /// slower than everyone else.
+    pub fn with_straggler(mut self) -> Self {
+        self.faults = self
+            .faults
+            .clone()
+            .with_straggler(ReplicaId::new(0), 10.0);
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.workload.seed = seed;
+        self
+    }
+
+    /// Override the simulated-time limit.
+    pub fn with_max_sim_time(mut self, limit: Duration) -> Self {
+        self.max_sim_time = limit;
+        self
+    }
+}
+
+/// The measurements extracted from one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Protocol that was run.
+    pub protocol: ProtocolKind,
+    /// Number of transactions submitted by clients.
+    pub submitted: usize,
+    /// Number of transactions confirmed (committed or aborted) at clients.
+    pub confirmed: usize,
+    /// Overall throughput in kilo-transactions per second.
+    pub throughput_ktps: f64,
+    /// Average end-to-end latency.
+    pub avg_latency: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95_latency: Duration,
+    /// Average per-stage latency breakdown (Fig. 6).
+    pub breakdown: LatencyBreakdown,
+    /// Throughput over time in 0.5 s buckets (Fig. 7a).
+    pub throughput_series: Vec<ThroughputPoint>,
+    /// Latency over time in 0.5 s buckets (Fig. 7b).
+    pub latency_series: Vec<ThroughputPoint>,
+    /// Number of completed view changes.
+    pub view_changes: u64,
+    /// Total blocks delivered by SB instances (as counted by the stats).
+    pub blocks_delivered: u64,
+    /// Final execution-state digest of every replica (honest replicas that
+    /// processed the same prefix must agree; used by safety checks).
+    pub state_digests: Vec<(ReplicaId, Digest)>,
+    /// Raw simulation report (events, messages, bytes).
+    pub report: SimulationReport,
+}
+
+impl ScenarioOutcome {
+    /// Fraction of submitted transactions that were confirmed.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.confirmed as f64 / self.submitted as f64
+    }
+}
+
+/// Build the simulation for a scenario without running it (used by tests that
+/// want to poke at intermediate states).
+pub fn build_simulation(scenario: &Scenario) -> (Simulation<NetMessage>, usize) {
+    let workload = Workload::generate(scenario.workload.clone());
+    let mut genesis = ObjectStore::new();
+    workload.install_genesis(&mut genesis);
+
+    let network = NetworkConfig::for_kind(scenario.network);
+    let mut sim: Simulation<NetMessage> =
+        Simulation::with_faults(network, scenario.faults.clone(), scenario.seed);
+
+    // Replicas must agree with the runner on the logical-client → client-actor
+    // mapping so they can route replies.
+    let num_clients = scenario.num_clients.max(1);
+    let mut config = scenario.config.clone();
+    config.num_client_actors = num_clients;
+
+    for r in 0..config.num_replicas {
+        let replica = ReplicaId::new(r);
+        let mut node = ReplicaNode::new(
+            replica,
+            scenario.protocol,
+            config.clone(),
+            genesis.clone(),
+        );
+        if scenario.faults.is_selfish(replica) {
+            node.set_selfish(true);
+        }
+        sim.add_actor(NodeId::Replica(replica), Box::new(node));
+    }
+
+    // Assign each logical client to a client actor and spread submission
+    // times uniformly over the submission window.
+    let total = workload.transactions.len().max(1);
+    let window_us = scenario.submission_window.as_micros();
+    let mut schedules: Vec<Vec<(Duration, orthrus_types::Transaction)>> =
+        (0..num_clients).map(|_| Vec::new()).collect();
+    for (idx, tx) in workload.transactions.iter().enumerate() {
+        let offset = Duration::from_micros(window_us * idx as u64 / total as u64);
+        let actor = config.client_actor_of(tx.id.client).value() as usize;
+        schedules[actor].push((offset, tx.clone()));
+    }
+    for (c, schedule) in schedules.into_iter().enumerate() {
+        let client = ClientNode::new(config.clone(), schedule);
+        sim.add_actor(NodeId::client(c as u64), Box::new(client));
+    }
+
+    (sim, workload.transactions.len())
+}
+
+/// Run a scenario to completion (all transactions confirmed) or until its
+/// simulated-time budget is exhausted, and collect the measurements.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let (mut sim, submitted) = build_simulation(scenario);
+    let deadline = SimTime::ZERO + scenario.max_sim_time;
+
+    // Run in one-second slices so we can stop as soon as every transaction is
+    // confirmed rather than simulating idle batch timers forever.
+    loop {
+        let now = sim.now();
+        if now >= deadline {
+            break;
+        }
+        let slice_end = (now + Duration::from_secs(1)).min(deadline);
+        sim.run_until(slice_end);
+        if sim.stats().confirmed_count() >= submitted && submitted > 0 {
+            break;
+        }
+    }
+
+    let stats = sim.stats();
+    let bucket = Duration::from_millis(500);
+    let state_digests = (0..scenario.config.num_replicas)
+        .filter_map(|r| {
+            let id = ReplicaId::new(r);
+            sim.actor_as::<ReplicaNode>(NodeId::Replica(id))
+                .map(|node| (id, node.executor().state_digest()))
+        })
+        .collect();
+
+    ScenarioOutcome {
+        protocol: scenario.protocol,
+        submitted,
+        confirmed: stats.confirmed_count(),
+        throughput_ktps: stats.throughput_ktps(),
+        avg_latency: stats.average_latency(),
+        p95_latency: stats.latency_percentile(0.95),
+        breakdown: stats.latency_breakdown(),
+        throughput_series: stats.throughput_timeseries(bucket),
+        latency_series: stats.latency_timeseries(bucket),
+        view_changes: stats.view_changes,
+        blocks_delivered: stats.blocks_delivered,
+        state_digests,
+        report: orthrus_sim::SimulationReport {
+            end_time: sim.now(),
+            events_processed: 0,
+            messages_sent: stats.messages_sent,
+            bytes_sent: stats.bytes_sent,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario(protocol: ProtocolKind) -> Scenario {
+        let workload = WorkloadConfig {
+            num_accounts: 32,
+            num_transactions: 120,
+            num_shared_objects: 4,
+            ..WorkloadConfig::small()
+        };
+        let mut config = ProtocolConfig::for_replicas(4);
+        config.batch_size = 32;
+        config.batch_timeout = Duration::from_millis(20);
+        Scenario {
+            protocol,
+            network: NetworkKind::Lan,
+            config,
+            workload,
+            faults: FaultPlan::none(),
+            num_clients: 2,
+            submission_window: Duration::from_millis(200),
+            max_sim_time: Duration::from_secs(60),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn orthrus_confirms_every_transaction_on_a_small_lan() {
+        let outcome = run_scenario(&tiny_scenario(ProtocolKind::Orthrus));
+        assert_eq!(outcome.submitted, 120);
+        assert_eq!(outcome.confirmed, 120, "outcome: {outcome:?}");
+        assert!(outcome.throughput_ktps > 0.0);
+        assert!(outcome.avg_latency > Duration::ZERO);
+        assert!(outcome.completion_ratio() > 0.999);
+    }
+
+    #[test]
+    fn all_protocols_complete_the_tiny_workload() {
+        for protocol in ProtocolKind::ALL {
+            let outcome = run_scenario(&tiny_scenario(protocol));
+            assert_eq!(
+                outcome.confirmed, outcome.submitted,
+                "{protocol} confirmed {}/{}",
+                outcome.confirmed, outcome.submitted
+            );
+        }
+    }
+
+    #[test]
+    fn replica_states_agree_after_a_run() {
+        let outcome = run_scenario(&tiny_scenario(ProtocolKind::Orthrus));
+        let digests: Vec<Digest> = outcome.state_digests.iter().map(|(_, d)| *d).collect();
+        assert!(!digests.is_empty());
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "replica states diverged: {:?}",
+            outcome.state_digests
+        );
+    }
+
+    #[test]
+    fn straggler_hurts_predetermined_more_than_orthrus() {
+        // A WAN deployment with several blocks per instance, so the straggler
+        // instance actually holds the pre-determined global log back.
+        let scenario = |protocol| {
+            let workload = WorkloadConfig {
+                num_accounts: 64,
+                num_transactions: 400,
+                num_shared_objects: 8,
+                payment_share: 0.8,
+                ..WorkloadConfig::small()
+            };
+            let mut config = ProtocolConfig::for_replicas(4);
+            config.batch_size = 16;
+            config.batch_timeout = Duration::from_millis(50);
+            Scenario {
+                protocol,
+                network: NetworkKind::Wan,
+                config,
+                workload,
+                faults: FaultPlan::none(),
+                num_clients: 2,
+                submission_window: Duration::from_secs(2),
+                max_sim_time: Duration::from_secs(120),
+                seed: 11,
+            }
+            .with_straggler()
+        };
+        let iss = run_scenario(&scenario(ProtocolKind::Iss));
+        let orthrus = run_scenario(&scenario(ProtocolKind::Orthrus));
+        assert_eq!(orthrus.confirmed, orthrus.submitted);
+        // Orthrus payments bypass the straggler-induced global-ordering wait,
+        // so its average latency must be clearly lower than ISS's.
+        assert!(
+            orthrus.avg_latency.as_secs_f64() < iss.avg_latency.as_secs_f64() * 0.9,
+            "orthrus {} vs iss {}",
+            orthrus.avg_latency,
+            iss.avg_latency
+        );
+    }
+
+    #[test]
+    fn scenario_builders_compose() {
+        let s = Scenario::new(ProtocolKind::Ladon, NetworkKind::Wan, 8)
+            .with_straggler()
+            .with_seed(9)
+            .with_max_sim_time(Duration::from_secs(30));
+        assert_eq!(s.config.num_replicas, 8);
+        assert_eq!(s.faults.stragglers.len(), 1);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.max_sim_time, Duration::from_secs(30));
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn debug_tiny_run() {
+        let workload = WorkloadConfig {
+            num_accounts: 32,
+            num_transactions: 120,
+            num_shared_objects: 4,
+            ..WorkloadConfig::small()
+        };
+        let mut config = ProtocolConfig::for_replicas(4);
+        config.batch_size = 32;
+        config.batch_timeout = Duration::from_millis(20);
+        let scenario = Scenario {
+            protocol: ProtocolKind::Orthrus,
+            network: NetworkKind::Lan,
+            config,
+            workload,
+            faults: FaultPlan::none(),
+            num_clients: 2,
+            submission_window: Duration::from_millis(200),
+            max_sim_time: Duration::from_secs(10),
+            seed: 7,
+        };
+        let (mut sim, submitted) = build_simulation(&scenario);
+        for step in 0..10 {
+            let report = sim.run_for(Duration::from_secs(1));
+            eprintln!(
+                "t={}s submitted_stat={} confirmed_stat={} blocks={} events={}",
+                step + 1,
+                sim.stats().submitted_count(),
+                sim.stats().confirmed_count(),
+                sim.stats().blocks_delivered,
+                report.events_processed,
+            );
+        }
+        for r in 0..4 {
+            let node = sim
+                .actor_as::<crate::replica::ReplicaNode>(NodeId::replica(r))
+                .unwrap();
+            eprintln!(
+                "replica {} confirmed={} delivered_blocks={} committed={} aborted={}",
+                r,
+                node.confirmed_transactions(),
+                node.delivered_blocks(),
+                node.executor().committed_count(),
+                node.executor().aborted_count(),
+            );
+        }
+        eprintln!("workload submitted={submitted}");
+    }
+}

@@ -1,0 +1,271 @@
+//! The replicated object store: owned accounts and shared contract records.
+//!
+//! Objects follow the paper's object-centric model (§III-B). Owned objects
+//! hold token balances and support incremental (credit) and decremental
+//! (debit) operations; shared objects hold a contract value and support
+//! assignment / arithmetic updates. The store is purely local state — every
+//! replica has its own copy and the protocols above keep the copies
+//! consistent.
+
+use orthrus_types::{Amount, Digest, ObjectKey, OrthrusError, Result, Value};
+use std::collections::BTreeMap;
+
+/// The state of one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectState {
+    /// An owned account holding a balance.
+    Owned {
+        /// Spendable balance of the account.
+        balance: Amount,
+    },
+    /// A shared contract record holding a value.
+    Shared {
+        /// Current value of the record.
+        value: Value,
+    },
+}
+
+/// The store of all objects known to a replica.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: BTreeMap<ObjectKey, ObjectState>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create (or reset) an owned account with the given initial balance.
+    pub fn create_account(&mut self, key: ObjectKey, balance: Amount) {
+        self.objects.insert(key, ObjectState::Owned { balance });
+    }
+
+    /// Create (or reset) a shared object with the given initial value.
+    pub fn create_shared(&mut self, key: ObjectKey, value: Value) {
+        self.objects.insert(key, ObjectState::Shared { value });
+    }
+
+    /// Number of objects in the store.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The balance of an owned account (zero if the account does not exist
+    /// yet — accounts spring into existence on first credit).
+    pub fn balance(&self, key: ObjectKey) -> Amount {
+        match self.objects.get(&key) {
+            Some(ObjectState::Owned { balance }) => *balance,
+            _ => 0,
+        }
+    }
+
+    /// The value of a shared object (zero if it does not exist yet).
+    pub fn shared_value(&self, key: ObjectKey) -> Value {
+        match self.objects.get(&key) {
+            Some(ObjectState::Shared { value }) => *value,
+            _ => 0,
+        }
+    }
+
+    /// Does the account have at least `amount` available?
+    pub fn can_debit(&self, key: ObjectKey, amount: Amount) -> bool {
+        self.balance(key) >= amount
+    }
+
+    /// Credit `amount` tokens to the owned account `key`, creating it if
+    /// needed.
+    pub fn credit(&mut self, key: ObjectKey, amount: Amount) -> Result<()> {
+        match self
+            .objects
+            .entry(key)
+            .or_insert(ObjectState::Owned { balance: 0 })
+        {
+            ObjectState::Owned { balance } => {
+                *balance = balance.saturating_add(amount);
+                Ok(())
+            }
+            ObjectState::Shared { .. } => Err(OrthrusError::TypeMismatch {
+                object: key,
+                reason: "credit applied to a shared object".into(),
+            }),
+        }
+    }
+
+    /// Debit `amount` tokens from the owned account `key`. Fails (leaving the
+    /// store unchanged) if the balance is insufficient or the object is not
+    /// an account.
+    pub fn debit(&mut self, key: ObjectKey, amount: Amount) -> Result<()> {
+        match self.objects.get_mut(&key) {
+            Some(ObjectState::Owned { balance }) => {
+                if *balance < amount {
+                    return Err(OrthrusError::EscrowFailed {
+                        object: key,
+                        tx: orthrus_types::TxId::default(),
+                    });
+                }
+                *balance -= amount;
+                Ok(())
+            }
+            Some(ObjectState::Shared { .. }) => Err(OrthrusError::TypeMismatch {
+                object: key,
+                reason: "debit applied to a shared object".into(),
+            }),
+            None => Err(OrthrusError::UnknownObject(key)),
+        }
+    }
+
+    /// Assign `value` to the shared object `key`, creating it if needed.
+    pub fn set_shared(&mut self, key: ObjectKey, value: Value) -> Result<()> {
+        match self
+            .objects
+            .entry(key)
+            .or_insert(ObjectState::Shared { value: 0 })
+        {
+            ObjectState::Shared { value: v } => {
+                *v = value;
+                Ok(())
+            }
+            ObjectState::Owned { .. } => Err(OrthrusError::TypeMismatch {
+                object: key,
+                reason: "contract write applied to an owned account".into(),
+            }),
+        }
+    }
+
+    /// Add `delta` to the shared object `key`, creating it if needed.
+    pub fn add_shared(&mut self, key: ObjectKey, delta: Value) -> Result<()> {
+        match self
+            .objects
+            .entry(key)
+            .or_insert(ObjectState::Shared { value: 0 })
+        {
+            ObjectState::Shared { value } => {
+                *value = value.saturating_add(delta);
+                Ok(())
+            }
+            ObjectState::Owned { .. } => Err(OrthrusError::TypeMismatch {
+                object: key,
+                reason: "contract update applied to an owned account".into(),
+            }),
+        }
+    }
+
+    /// Sum of all account balances (used by conservation-of-supply checks;
+    /// escrowed amounts are tracked separately by the escrow log).
+    pub fn total_balance(&self) -> u128 {
+        self.objects
+            .values()
+            .map(|o| match o {
+                ObjectState::Owned { balance } => u128::from(*balance),
+                ObjectState::Shared { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Deterministic digest of the full store contents, used to compare
+    /// replica states (the paper's safety property: replicas in the same
+    /// state have consistent values for all objects).
+    pub fn digest(&self) -> Digest {
+        let mut digest = Digest::EMPTY;
+        for (key, state) in &self.objects {
+            let entry = match state {
+                ObjectState::Owned { balance } => Digest::of(&(key, 0u8, *balance)),
+                ObjectState::Shared { value } => Digest::of(&(key, 1u8, *value as u64)),
+            };
+            digest = digest.combine(entry);
+        }
+        digest
+    }
+
+    /// Iterate over all objects.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectKey, &ObjectState)> {
+        self.objects.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: u64) -> ObjectKey {
+        ObjectKey::new(k)
+    }
+
+    #[test]
+    fn accounts_credit_and_debit() {
+        let mut store = ObjectStore::new();
+        store.create_account(key(1), 100);
+        assert_eq!(store.balance(key(1)), 100);
+        store.credit(key(1), 50).unwrap();
+        assert_eq!(store.balance(key(1)), 150);
+        store.debit(key(1), 120).unwrap();
+        assert_eq!(store.balance(key(1)), 30);
+        assert!(store.debit(key(1), 31).is_err());
+        assert_eq!(store.balance(key(1)), 30);
+    }
+
+    #[test]
+    fn credits_create_accounts_on_demand() {
+        let mut store = ObjectStore::new();
+        store.credit(key(7), 5).unwrap();
+        assert_eq!(store.balance(key(7)), 5);
+        assert!(store.can_debit(key(7), 5));
+        assert!(!store.can_debit(key(7), 6));
+    }
+
+    #[test]
+    fn debit_of_unknown_account_fails() {
+        let mut store = ObjectStore::new();
+        assert!(store.debit(key(9), 1).is_err());
+        assert_eq!(store.balance(key(9)), 0);
+    }
+
+    #[test]
+    fn shared_objects() {
+        let mut store = ObjectStore::new();
+        store.set_shared(key(100), 42).unwrap();
+        assert_eq!(store.shared_value(key(100)), 42);
+        store.add_shared(key(100), -2).unwrap();
+        assert_eq!(store.shared_value(key(100)), 40);
+        store.add_shared(key(101), 7).unwrap();
+        assert_eq!(store.shared_value(key(101)), 7);
+    }
+
+    #[test]
+    fn type_mismatches_are_rejected() {
+        let mut store = ObjectStore::new();
+        store.create_account(key(1), 10);
+        store.create_shared(key(2), 0);
+        assert!(store.set_shared(key(1), 5).is_err());
+        assert!(store.add_shared(key(1), 5).is_err());
+        assert!(store.credit(key(2), 5).is_err());
+        assert!(store.debit(key(2), 5).is_err());
+    }
+
+    #[test]
+    fn digest_reflects_state() {
+        let mut a = ObjectStore::new();
+        let mut b = ObjectStore::new();
+        a.create_account(key(1), 10);
+        b.create_account(key(1), 10);
+        assert_eq!(a.digest(), b.digest());
+        b.credit(key(1), 1).unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn total_balance_ignores_shared_objects() {
+        let mut store = ObjectStore::new();
+        store.create_account(key(1), 10);
+        store.create_account(key(2), 5);
+        store.create_shared(key(3), 1_000);
+        assert_eq!(store.total_balance(), 15);
+    }
+}

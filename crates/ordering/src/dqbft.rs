@@ -1,0 +1,161 @@
+//! DQBFT-style global ordering: a dedicated ordering instance sequences the
+//! blocks delivered by all data instances.
+//!
+//! In DQBFT (Arun & Ravindran, VLDB '22) replicas run many data instances
+//! plus one *ordering* instance. Data instances deliver blocks; the ordering
+//! instance runs consensus over the delivered block ids, and the resulting
+//! decision stream *is* the global order. A block is confirmed once (a) its
+//! data has been delivered by its data instance and (b) the ordering instance
+//! has decided its position and every earlier decided block is confirmed.
+//!
+//! Confirmation therefore costs one extra consensus round on the ordering
+//! instance, and the ordering instance's leader is a throughput bottleneck
+//! and an attack target — which is why the paper's Fig. 3/4 show DQBFT behind
+//! Orthrus/Ladon but ahead of the pre-determined protocols under stragglers.
+
+use crate::policy::GlobalOrderingPolicy;
+use orthrus_types::{Block, BlockId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Global ordering driven by a dedicated ordering instance's decisions.
+#[derive(Debug, Default, Clone)]
+pub struct DqbftOrdering {
+    /// Data blocks delivered but not yet confirmed, keyed by id.
+    delivered: HashMap<BlockId, Block>,
+    /// Decided ids waiting for their data (or for earlier decisions).
+    decisions: VecDeque<BlockId>,
+    /// Ids already confirmed (to drop duplicates).
+    confirmed: HashSet<BlockId>,
+}
+
+impl DqbftOrdering {
+    /// Create an empty ordering.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain the front of the decision queue as long as data is available.
+    fn drain(&mut self) -> Vec<Block> {
+        let mut out = Vec::new();
+        while let Some(next) = self.decisions.front() {
+            if self.confirmed.contains(next) {
+                self.decisions.pop_front();
+                continue;
+            }
+            match self.delivered.remove(next) {
+                Some(block) => {
+                    self.confirmed.insert(*next);
+                    self.decisions.pop_front();
+                    out.push(block);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Number of ordering decisions not yet matched with data.
+    pub fn undecided_data(&self) -> usize {
+        self.delivered.len()
+    }
+}
+
+impl GlobalOrderingPolicy for DqbftOrdering {
+    fn on_deliver(&mut self, block: Block) -> Vec<Block> {
+        let id = block.id();
+        if self.confirmed.contains(&id) {
+            return Vec::new();
+        }
+        self.delivered.entry(id).or_insert(block);
+        self.drain()
+    }
+
+    fn on_order_decision(&mut self, id: BlockId) -> Vec<Block> {
+        if self.confirmed.contains(&id) || self.decisions.contains(&id) {
+            return Vec::new();
+        }
+        self.decisions.push_back(id);
+        self.drain()
+    }
+
+    fn pending(&self) -> usize {
+        self.delivered.len() + self.decisions.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "dqbft"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::block;
+
+    #[test]
+    fn confirmation_waits_for_both_data_and_decision() {
+        let mut ord = DqbftOrdering::new();
+        let b = block(0, 0, 0);
+        let id = b.id();
+        assert!(ord.on_deliver(b).is_empty());
+        assert_eq!(ord.pending(), 1);
+        let confirmed = ord.on_order_decision(id);
+        assert_eq!(confirmed.len(), 1);
+        assert_eq!(ord.pending(), 0);
+    }
+
+    #[test]
+    fn decision_before_data_also_works() {
+        let mut ord = DqbftOrdering::new();
+        let b = block(1, 3, 0);
+        assert!(ord.on_order_decision(b.id()).is_empty());
+        let confirmed = ord.on_deliver(b);
+        assert_eq!(confirmed.len(), 1);
+    }
+
+    #[test]
+    fn global_order_follows_the_decision_stream() {
+        let mut ord = DqbftOrdering::new();
+        let a = block(0, 0, 0);
+        let b = block(1, 0, 0);
+        let c = block(2, 0, 0);
+        // Data arrives a, b, c but the ordering instance decides c, a, b.
+        assert!(ord.on_deliver(a.clone()).is_empty());
+        assert!(ord.on_deliver(b.clone()).is_empty());
+        assert!(ord.on_deliver(c.clone()).is_empty());
+        let mut confirmed = Vec::new();
+        confirmed.extend(ord.on_order_decision(c.id()));
+        confirmed.extend(ord.on_order_decision(a.id()));
+        confirmed.extend(ord.on_order_decision(b.id()));
+        let ids: Vec<BlockId> = confirmed.iter().map(Block::id).collect();
+        assert_eq!(ids, vec![c.id(), a.id(), b.id()]);
+    }
+
+    #[test]
+    fn missing_data_blocks_later_decisions() {
+        let mut ord = DqbftOrdering::new();
+        let a = block(0, 0, 0);
+        let b = block(1, 0, 0);
+        // Decisions for a then b, but only b's data is available: nothing can
+        // confirm until a's data arrives (FIFO discipline of the decision
+        // stream).
+        assert!(ord.on_order_decision(a.id()).is_empty());
+        assert!(ord.on_order_decision(b.id()).is_empty());
+        assert!(ord.on_deliver(b.clone()).is_empty());
+        let confirmed = ord.on_deliver(a.clone());
+        assert_eq!(confirmed.len(), 2);
+        assert_eq!(confirmed[0].id(), a.id());
+        assert_eq!(confirmed[1].id(), b.id());
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut ord = DqbftOrdering::new();
+        let a = block(0, 0, 0);
+        ord.on_deliver(a.clone());
+        ord.on_order_decision(a.id());
+        assert!(ord.on_deliver(a.clone()).is_empty());
+        assert!(ord.on_order_decision(a.id()).is_empty());
+        assert_eq!(ord.pending(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The global log (`glog`): the single, totally ordered sequence of blocks
+//! shared by the whole Multi-BFT system (paper §V-B).
+//!
+//! Blocks are appended by the global ordering policy (pre-determined, DQBFT
+//! or Ladon); the execution module consumes them in order through the cursor,
+//! executing contract transactions sequentially.
+
+use orthrus_types::{Block, BlockId};
+use std::collections::HashSet;
+
+/// The global log.
+#[derive(Debug, Default, Clone)]
+pub struct GlobalLog {
+    blocks: Vec<Block>,
+    ids: HashSet<BlockId>,
+    /// Index of the first entry not yet consumed by the execution module.
+    cursor: usize,
+}
+
+impl GlobalLog {
+    /// An empty global log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a globally confirmed block. Duplicate block ids are ignored
+    /// (the ordering policy emits each block exactly once, but the execution
+    /// layer's abort path may try to re-append during recovery).
+    pub fn append(&mut self, block: Block) {
+        if self.ids.insert(block.id()) {
+            self.blocks.push(block);
+        }
+    }
+
+    /// Number of blocks ever appended.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Has `id` been globally confirmed?
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// The first appended-but-not-yet-executed block, if any.
+    pub fn first_pending(&self) -> Option<&Block> {
+        self.blocks.get(self.cursor)
+    }
+
+    /// Position of the execution cursor.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Pop the next block for execution, advancing the cursor.
+    pub fn pop_pending(&mut self) -> Option<Block> {
+        let block = self.blocks.get(self.cursor)?.clone();
+        self.cursor += 1;
+        Some(block)
+    }
+
+    /// The global position assigned to `id`, if confirmed.
+    pub fn position_of(&self, id: BlockId) -> Option<usize> {
+        if !self.ids.contains(&id) {
+            return None;
+        }
+        self.blocks.iter().position(|b| b.id() == id)
+    }
+
+    /// Iterate over the confirmed blocks in global order.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Block ids in global order (useful for cross-replica agreement checks).
+    pub fn order(&self) -> Vec<BlockId> {
+        self.blocks.iter().map(Block::id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_types::{
+        BlockParams, Epoch, InstanceId, Rank, ReplicaId, SeqNum, SystemState, View,
+    };
+
+    fn block(instance: u32, sn: u64) -> Block {
+        Block::no_op(BlockParams {
+            instance: InstanceId::new(instance),
+            sn: SeqNum::new(sn),
+            epoch: Epoch::new(0),
+            view: View::new(0),
+            proposer: ReplicaId::new(instance),
+            rank: Rank::new(sn),
+            state: SystemState::new(2),
+        })
+    }
+
+    #[test]
+    fn append_preserves_order_and_dedups() {
+        let mut glog = GlobalLog::new();
+        glog.append(block(0, 0));
+        glog.append(block(1, 0));
+        glog.append(block(0, 0)); // duplicate
+        assert_eq!(glog.len(), 2);
+        assert!(glog.contains(BlockId::new(InstanceId::new(0), SeqNum::new(0))));
+        assert_eq!(
+            glog.order(),
+            vec![
+                BlockId::new(InstanceId::new(0), SeqNum::new(0)),
+                BlockId::new(InstanceId::new(1), SeqNum::new(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn cursor_walks_the_log() {
+        let mut glog = GlobalLog::new();
+        glog.append(block(0, 0));
+        glog.append(block(1, 0));
+        assert_eq!(glog.first_pending().unwrap().header.instance, InstanceId::new(0));
+        assert_eq!(glog.pop_pending().unwrap().header.instance, InstanceId::new(0));
+        assert_eq!(glog.cursor(), 1);
+        assert_eq!(glog.pop_pending().unwrap().header.instance, InstanceId::new(1));
+        assert!(glog.pop_pending().is_none());
+    }
+
+    #[test]
+    fn position_lookup() {
+        let mut glog = GlobalLog::new();
+        glog.append(block(0, 0));
+        glog.append(block(3, 7));
+        assert_eq!(
+            glog.position_of(BlockId::new(InstanceId::new(3), SeqNum::new(7))),
+            Some(1)
+        );
+        assert_eq!(
+            glog.position_of(BlockId::new(InstanceId::new(9), SeqNum::new(9))),
+            None
+        );
+    }
+}

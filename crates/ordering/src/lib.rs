@@ -1,0 +1,33 @@
+//! # orthrus-ordering
+//!
+//! Partial and global log structures plus the global-ordering policies of
+//! every protocol the paper evaluates.
+//!
+//! * [`plog`] — the per-instance partial log (`plog`) of delivered blocks and
+//!   its execution cursor;
+//! * [`glog`] — the system-wide global log (`glog`);
+//! * [`rank`] — monotonic rank assignment for dynamic ordering;
+//! * [`policy`] — the [`policy::GlobalOrderingPolicy`] trait;
+//! * [`predetermined`] — ISS / Mir-BFT / RCC round-robin interleaving;
+//! * [`dqbft`] — DQBFT's dedicated ordering instance;
+//! * [`ladon`] — Ladon's rank-based dynamic ordering, also used by Orthrus
+//!   for contract transactions.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dqbft;
+pub mod glog;
+pub mod ladon;
+pub mod plog;
+pub mod policy;
+pub mod predetermined;
+pub mod rank;
+
+pub use dqbft::DqbftOrdering;
+pub use glog::GlobalLog;
+pub use ladon::{LadonOrdering, OrderKey};
+pub use plog::{PartialLog, PartialLogs};
+pub use policy::GlobalOrderingPolicy;
+pub use predetermined::PredeterminedOrdering;
+pub use rank::RankTracker;

@@ -1,0 +1,193 @@
+//! The partial log (`plog`): per-instance sequence of delivered blocks.
+//!
+//! Each SB instance maintains its own partial log (paper §V-B). Blocks enter
+//! the log when the instance delivers them; the execution module walks the
+//! log in sequence-number order ("first pending transaction") to execute
+//! payment transactions without waiting for the global log.
+
+use orthrus_types::{Block, InstanceId, SeqNum};
+use std::collections::BTreeMap;
+
+/// The partial log of a single SB instance.
+#[derive(Debug, Default, Clone)]
+pub struct PartialLog {
+    blocks: BTreeMap<SeqNum, Block>,
+    /// First sequence number not yet consumed by the execution module.
+    cursor: SeqNum,
+}
+
+impl PartialLog {
+    /// An empty partial log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a delivered block at its sequence number. Re-inserting the same
+    /// sequence number keeps the first copy (SB agreement guarantees they are
+    /// identical).
+    pub fn insert(&mut self, block: Block) {
+        self.blocks.entry(block.header.sn).or_insert(block);
+    }
+
+    /// The block at `sn`, if delivered.
+    pub fn get(&self, sn: SeqNum) -> Option<&Block> {
+        self.blocks.get(&sn)
+    }
+
+    /// Number of blocks in the log (delivered, not yet garbage-collected).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The execution cursor: first sequence number not yet consumed.
+    pub fn cursor(&self) -> SeqNum {
+        self.cursor
+    }
+
+    /// The next contiguous block available for execution (the paper's
+    /// `firstPending(plog[i])`), if it has been delivered.
+    pub fn first_pending(&self) -> Option<&Block> {
+        self.blocks.get(&self.cursor)
+    }
+
+    /// Pop the next contiguous block for execution, advancing the cursor.
+    pub fn pop_pending(&mut self) -> Option<Block> {
+        let block = self.blocks.get(&self.cursor)?.clone();
+        self.cursor = self.cursor.next();
+        Some(block)
+    }
+
+    /// Drop blocks with sequence numbers at or below `sn` that have already
+    /// been executed (garbage collection after a stable checkpoint).
+    pub fn garbage_collect(&mut self, sn: SeqNum) {
+        let cursor = self.cursor;
+        self.blocks.retain(|k, _| *k > sn || *k >= cursor);
+    }
+
+    /// Iterate over all delivered blocks in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.values()
+    }
+}
+
+/// The set of partial logs of all instances, indexed by instance id.
+#[derive(Debug, Default, Clone)]
+pub struct PartialLogs {
+    logs: BTreeMap<InstanceId, PartialLog>,
+}
+
+impl PartialLogs {
+    /// Create partial logs for `m` instances.
+    pub fn new(m: u32) -> Self {
+        let logs = (0..m)
+            .map(|i| (InstanceId::new(i), PartialLog::new()))
+            .collect();
+        Self { logs }
+    }
+
+    /// The partial log of `instance` (created on demand).
+    pub fn get_mut(&mut self, instance: InstanceId) -> &mut PartialLog {
+        self.logs.entry(instance).or_default()
+    }
+
+    /// Read-only access to the partial log of `instance`.
+    pub fn get(&self, instance: InstanceId) -> Option<&PartialLog> {
+        self.logs.get(&instance)
+    }
+
+    /// Iterate over `(instance, log)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, &PartialLog)> {
+        self.logs.iter().map(|(i, l)| (*i, l))
+    }
+
+    /// Iterate mutably over `(instance, log)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (InstanceId, &mut PartialLog)> {
+        self.logs.iter_mut().map(|(i, l)| (*i, l))
+    }
+
+    /// Total number of blocks across all instances.
+    pub fn total_blocks(&self) -> usize {
+        self.logs.values().map(PartialLog::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_types::{BlockParams, Epoch, Rank, ReplicaId, SystemState, View};
+
+    fn block(instance: u32, sn: u64) -> Block {
+        Block::no_op(BlockParams {
+            instance: InstanceId::new(instance),
+            sn: SeqNum::new(sn),
+            epoch: Epoch::new(0),
+            view: View::new(0),
+            proposer: ReplicaId::new(instance),
+            rank: Rank::new(sn),
+            state: SystemState::new(2),
+        })
+    }
+
+    #[test]
+    fn first_pending_requires_contiguity() {
+        let mut log = PartialLog::new();
+        log.insert(block(0, 1));
+        assert!(log.first_pending().is_none());
+        log.insert(block(0, 0));
+        assert_eq!(log.first_pending().unwrap().header.sn, SeqNum::new(0));
+        assert_eq!(log.pop_pending().unwrap().header.sn, SeqNum::new(0));
+        assert_eq!(log.pop_pending().unwrap().header.sn, SeqNum::new(1));
+        assert!(log.pop_pending().is_none());
+        assert_eq!(log.cursor(), SeqNum::new(2));
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let mut log = PartialLog::new();
+        let first = block(0, 0);
+        log.insert(first.clone());
+        log.insert(block(0, 0));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.get(SeqNum::new(0)).unwrap().digest(), first.digest());
+    }
+
+    #[test]
+    fn garbage_collection_spares_unexecuted_blocks() {
+        let mut log = PartialLog::new();
+        for sn in 0..4 {
+            log.insert(block(0, sn));
+        }
+        log.pop_pending();
+        log.pop_pending();
+        // GC up to sn 3, but only executed blocks (0 and 1) may go.
+        log.garbage_collect(SeqNum::new(3));
+        assert!(log.get(SeqNum::new(0)).is_none());
+        assert!(log.get(SeqNum::new(1)).is_none());
+        assert!(log.get(SeqNum::new(2)).is_some());
+        assert!(log.get(SeqNum::new(3)).is_some());
+    }
+
+    #[test]
+    fn logs_per_instance_are_independent() {
+        let mut logs = PartialLogs::new(2);
+        logs.get_mut(InstanceId::new(0)).insert(block(0, 0));
+        logs.get_mut(InstanceId::new(1)).insert(block(1, 0));
+        logs.get_mut(InstanceId::new(1)).insert(block(1, 1));
+        assert_eq!(logs.get(InstanceId::new(0)).unwrap().len(), 1);
+        assert_eq!(logs.get(InstanceId::new(1)).unwrap().len(), 2);
+        assert_eq!(logs.total_blocks(), 3);
+        assert_eq!(logs.iter().count(), 2);
+    }
+
+    #[test]
+    fn on_demand_instance_creation() {
+        let mut logs = PartialLogs::new(1);
+        logs.get_mut(InstanceId::new(5)).insert(block(5, 0));
+        assert!(logs.get(InstanceId::new(5)).is_some());
+    }
+}

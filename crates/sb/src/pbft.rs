@@ -1,0 +1,941 @@
+//! PBFT-based sequenced broadcast (SB) instance.
+//!
+//! One [`PbftInstance`] realises the paper's SB abstraction (§III-C) for a
+//! single instance index: the instance's leader broadcasts blocks with
+//! increasing sequence numbers and all replicas cooperate to *deliver* every
+//! sequence number, with the agreement and termination properties the paper
+//! relies on. Internally this is textbook PBFT:
+//!
+//! * normal case: pre-prepare → prepare (quorum `2f+1` attestations,
+//!   counting the leader's pre-prepare) → commit (quorum `2f+1`) → in-order
+//!   delivery;
+//! * checkpoints every `checkpoint_interval` deliveries, garbage-collecting
+//!   older slots once `2f+1` matching checkpoint votes arrive;
+//! * view change: on a timeout (raised by the hosting replica's failure
+//!   detector) replicas vote to move to the next view; the new leader
+//!   collects `2f+1` votes, re-proposes any prepared-but-undelivered blocks
+//!   and announces the new view.
+//!
+//! The state machine is IO-free: every entry point returns [`SbAction`]s that
+//! the hosting replica turns into network sends, deliveries into the
+//! partial/global logs, or bookkeeping.
+
+use crate::actions::{ActionSink, SbAction};
+use crate::messages::{PreparedProof, SbMessage};
+use orthrus_types::{
+    Block, Digest, InstanceId, ReplicaId, SeqNum, SimTime, View,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Static configuration of one PBFT instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PbftConfig {
+    /// Which SB instance this is.
+    pub instance: InstanceId,
+    /// The replica hosting this state machine.
+    pub me: ReplicaId,
+    /// Total number of replicas `n`.
+    pub num_replicas: u32,
+    /// Deliveries between checkpoints.
+    pub checkpoint_interval: u64,
+}
+
+impl PbftConfig {
+    /// Maximum number of faulty replicas tolerated.
+    pub fn f(&self) -> u32 {
+        (self.num_replicas - 1) / 3
+    }
+
+    /// Quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        (2 * self.f() + 1) as usize
+    }
+
+    /// Leader of `view` for this instance: rotates round-robin starting from
+    /// the replica whose id equals the instance index.
+    pub fn leader_of(&self, view: View) -> ReplicaId {
+        let base = u64::from(self.instance.value());
+        ReplicaId::new(((base + view.value()) % u64::from(self.num_replicas)) as u32)
+    }
+}
+
+/// Per-sequence-number voting state.
+#[derive(Debug, Default, Clone)]
+struct Slot {
+    proposal: Option<Block>,
+    digest: Option<Digest>,
+    /// Replicas attesting to the proposal (leader via pre-prepare, others via
+    /// prepare votes).
+    prepares: BTreeSet<ReplicaId>,
+    commits: BTreeSet<ReplicaId>,
+    sent_commit: bool,
+    delivered: bool,
+}
+
+impl Slot {
+    fn accepts_digest(&self, digest: Digest) -> bool {
+        self.digest.map_or(true, |d| d == digest)
+    }
+}
+
+/// A PBFT sequenced-broadcast instance.
+#[derive(Debug)]
+pub struct PbftInstance {
+    cfg: PbftConfig,
+    view: View,
+    in_view_change: bool,
+    slots: BTreeMap<SeqNum, Slot>,
+    next_delivery: SeqNum,
+    next_propose: SeqNum,
+    delivered_digest: Digest,
+    delivered_count: u64,
+    checkpoint_votes: BTreeMap<SeqNum, BTreeMap<ReplicaId, Digest>>,
+    stable_checkpoint: Option<SeqNum>,
+    view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<PreparedProof>>>,
+    last_progress: SimTime,
+}
+
+impl PbftInstance {
+    /// Create a fresh instance in view 0.
+    pub fn new(cfg: PbftConfig) -> Self {
+        Self {
+            cfg,
+            view: View::new(0),
+            in_view_change: false,
+            slots: BTreeMap::new(),
+            next_delivery: SeqNum::new(0),
+            next_propose: SeqNum::new(0),
+            delivered_digest: Digest::EMPTY,
+            delivered_count: 0,
+            checkpoint_votes: BTreeMap::new(),
+            stable_checkpoint: None,
+            view_change_votes: BTreeMap::new(),
+            last_progress: SimTime::ZERO,
+        }
+    }
+
+    /// The instance's configuration.
+    pub fn config(&self) -> &PbftConfig {
+        &self.cfg
+    }
+
+    /// The view currently in force.
+    pub fn current_view(&self) -> View {
+        self.view
+    }
+
+    /// The leader of the current view.
+    pub fn current_leader(&self) -> ReplicaId {
+        self.cfg.leader_of(self.view)
+    }
+
+    /// Is the hosting replica the leader of the current view (and not in the
+    /// middle of a view change)?
+    pub fn is_leader(&self) -> bool {
+        !self.in_view_change && self.current_leader() == self.cfg.me
+    }
+
+    /// Is a view change in progress?
+    pub fn in_view_change(&self) -> bool {
+        self.in_view_change
+    }
+
+    /// Sequence number the leader should use for its next proposal.
+    pub fn next_propose_sn(&self) -> SeqNum {
+        self.next_propose
+    }
+
+    /// Highest sequence number delivered so far (None if nothing yet).
+    pub fn last_delivered(&self) -> Option<SeqNum> {
+        if self.next_delivery.value() == 0 {
+            None
+        } else {
+            Some(SeqNum::new(self.next_delivery.value() - 1))
+        }
+    }
+
+    /// Number of blocks delivered by this instance.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Latest stable checkpoint, if any.
+    pub fn stable_checkpoint(&self) -> Option<SeqNum> {
+        self.stable_checkpoint
+    }
+
+    /// Virtual time of the last delivery or view change, used by the hosting
+    /// replica's failure detector.
+    pub fn last_progress(&self) -> SimTime {
+        self.last_progress
+    }
+
+    /// Rolling digest over the delivered prefix (checkpoint material).
+    pub fn delivery_digest(&self) -> Digest {
+        self.delivered_digest
+    }
+
+    // ------------------------------------------------------------------
+    // Leader path
+    // ------------------------------------------------------------------
+
+    /// Propose `block` as the leader of the current view. The block must
+    /// carry this instance's id, the current view and the sequence number
+    /// returned by [`Self::next_propose_sn`].
+    pub fn propose(&mut self, block: Block, now: SimTime) -> Vec<SbAction> {
+        let mut sink = ActionSink::new();
+        if !self.is_leader() {
+            return sink.into_vec();
+        }
+        if block.header.instance != self.cfg.instance
+            || block.header.view != self.view
+            || block.header.sn != self.next_propose
+        {
+            return sink.into_vec();
+        }
+        let sn = block.header.sn;
+        let digest = block.digest();
+        self.next_propose = sn.next();
+        {
+            let slot = self.slots.entry(sn).or_default();
+            slot.proposal = Some(block.clone());
+            slot.digest = Some(digest);
+            // The pre-prepare counts as the leader's attestation.
+            slot.prepares.insert(self.cfg.me);
+        }
+        sink.broadcast(SbMessage::PrePrepare { block });
+        self.check_prepared(sn, &mut sink);
+        self.try_deliver(now, &mut sink);
+        sink.into_vec()
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Handle a PBFT message addressed to this instance.
+    pub fn handle_message(
+        &mut self,
+        from: ReplicaId,
+        msg: SbMessage,
+        now: SimTime,
+    ) -> Vec<SbAction> {
+        let mut sink = ActionSink::new();
+        if msg.instance() != self.cfg.instance {
+            return sink.into_vec();
+        }
+        match msg {
+            SbMessage::PrePrepare { block } => self.on_pre_prepare(from, block, now, &mut sink),
+            SbMessage::Prepare {
+                view,
+                sn,
+                digest,
+                voter,
+                ..
+            } => self.on_prepare(voter, view, sn, digest, now, &mut sink),
+            SbMessage::Commit {
+                view,
+                sn,
+                digest,
+                voter,
+                ..
+            } => self.on_commit(voter, view, sn, digest, now, &mut sink),
+            SbMessage::Checkpoint {
+                sn, digest, voter, ..
+            } => self.on_checkpoint(voter, sn, digest, &mut sink),
+            SbMessage::ViewChange {
+                new_view,
+                prepared,
+                voter,
+                ..
+            } => self.on_view_change(voter, new_view, prepared, now, &mut sink),
+            SbMessage::NewView {
+                new_view,
+                reproposals,
+                ..
+            } => self.on_new_view(from, new_view, reproposals, now, &mut sink),
+        }
+        sink.into_vec()
+    }
+
+    /// The hosting replica's failure detector suspects the current leader:
+    /// vote to move to the next view.
+    pub fn on_timeout(&mut self, now: SimTime) -> Vec<SbAction> {
+        let mut sink = ActionSink::new();
+        let target = self.view.next();
+        self.start_view_change(target, now, &mut sink);
+        sink.into_vec()
+    }
+
+    // ------------------------------------------------------------------
+    // Normal case
+    // ------------------------------------------------------------------
+
+    fn on_pre_prepare(
+        &mut self,
+        from: ReplicaId,
+        block: Block,
+        now: SimTime,
+        sink: &mut ActionSink,
+    ) {
+        if self.in_view_change {
+            return;
+        }
+        if block.header.view != self.view || from != self.current_leader() {
+            return;
+        }
+        if block.header.proposer != from || block.verify().is_err() {
+            return;
+        }
+        let sn = block.header.sn;
+        if sn < self.next_delivery {
+            return; // already delivered
+        }
+        let digest = block.digest();
+        let me = self.cfg.me;
+        let leader = self.current_leader();
+        let view = self.view;
+        let instance = self.cfg.instance;
+        let mut broadcast_prepare = false;
+        {
+            let slot = self.slots.entry(sn).or_default();
+            if let Some(existing) = slot.digest {
+                if existing != digest {
+                    // Equivocation or conflict with an already-voted digest:
+                    // ignore the later proposal.
+                    return;
+                }
+            }
+            if slot.proposal.is_none() {
+                slot.proposal = Some(block);
+                slot.digest = Some(digest);
+            }
+            // Leader's pre-prepare and our own prepare both attest.
+            slot.prepares.insert(leader);
+            if slot.prepares.insert(me) {
+                broadcast_prepare = true;
+            }
+        }
+        if broadcast_prepare && me != leader {
+            sink.broadcast(SbMessage::Prepare {
+                instance,
+                view,
+                sn,
+                digest,
+                voter: me,
+            });
+        }
+        self.check_prepared(sn, sink);
+        self.try_deliver(now, sink);
+    }
+
+    fn on_prepare(
+        &mut self,
+        voter: ReplicaId,
+        view: View,
+        sn: SeqNum,
+        digest: Digest,
+        now: SimTime,
+        sink: &mut ActionSink,
+    ) {
+        if view != self.view || self.in_view_change || sn < self.next_delivery {
+            return;
+        }
+        {
+            let slot = self.slots.entry(sn).or_default();
+            if !slot.accepts_digest(digest) {
+                return;
+            }
+            if slot.digest.is_none() {
+                slot.digest = Some(digest);
+            }
+            slot.prepares.insert(voter);
+        }
+        self.check_prepared(sn, sink);
+        self.try_deliver(now, sink);
+    }
+
+    fn on_commit(
+        &mut self,
+        voter: ReplicaId,
+        view: View,
+        sn: SeqNum,
+        digest: Digest,
+        now: SimTime,
+        sink: &mut ActionSink,
+    ) {
+        if view != self.view || self.in_view_change || sn < self.next_delivery {
+            return;
+        }
+        {
+            let slot = self.slots.entry(sn).or_default();
+            if !slot.accepts_digest(digest) {
+                return;
+            }
+            slot.commits.insert(voter);
+        }
+        self.check_prepared(sn, sink);
+        self.try_deliver(now, sink);
+    }
+
+    /// If the slot has a proposal and a prepare quorum, move to the commit
+    /// phase (once).
+    fn check_prepared(&mut self, sn: SeqNum, sink: &mut ActionSink) {
+        let quorum = self.cfg.quorum();
+        let me = self.cfg.me;
+        let view = self.view;
+        let instance = self.cfg.instance;
+        let Some(slot) = self.slots.get_mut(&sn) else {
+            return;
+        };
+        if slot.proposal.is_none() || slot.sent_commit {
+            return;
+        }
+        if slot.prepares.len() >= quorum {
+            slot.sent_commit = true;
+            slot.commits.insert(me);
+            let digest = slot.digest.expect("proposal implies digest");
+            sink.broadcast(SbMessage::Commit {
+                instance,
+                view,
+                sn,
+                digest,
+                voter: me,
+            });
+        }
+    }
+
+    /// Deliver committed slots in sequence-number order.
+    fn try_deliver(&mut self, now: SimTime, sink: &mut ActionSink) {
+        let quorum = self.cfg.quorum();
+        loop {
+            let sn = self.next_delivery;
+            let ready = match self.slots.get(&sn) {
+                Some(slot) => {
+                    slot.proposal.is_some()
+                        && slot.sent_commit
+                        && slot.commits.len() >= quorum
+                        && !slot.delivered
+                }
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            let slot = self.slots.get_mut(&sn).expect("checked above");
+            slot.delivered = true;
+            let block = slot.proposal.clone().expect("checked above");
+            self.delivered_digest = self.delivered_digest.combine(block.digest());
+            self.delivered_count += 1;
+            self.next_delivery = sn.next();
+            if self.next_propose < self.next_delivery {
+                self.next_propose = self.next_delivery;
+            }
+            self.last_progress = now;
+            sink.deliver(block);
+            self.maybe_checkpoint(sink);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints
+    // ------------------------------------------------------------------
+
+    fn maybe_checkpoint(&mut self, sink: &mut ActionSink) {
+        let interval = self.cfg.checkpoint_interval.max(1);
+        if self.next_delivery.value() == 0 || self.next_delivery.value() % interval != 0 {
+            return;
+        }
+        let sn = SeqNum::new(self.next_delivery.value() - 1);
+        let digest = self.delivered_digest;
+        let me = self.cfg.me;
+        sink.broadcast(SbMessage::Checkpoint {
+            instance: self.cfg.instance,
+            sn,
+            digest,
+            voter: me,
+        });
+        self.record_checkpoint_vote(me, sn, digest, sink);
+    }
+
+    fn on_checkpoint(
+        &mut self,
+        voter: ReplicaId,
+        sn: SeqNum,
+        digest: Digest,
+        sink: &mut ActionSink,
+    ) {
+        self.record_checkpoint_vote(voter, sn, digest, sink);
+    }
+
+    fn record_checkpoint_vote(
+        &mut self,
+        voter: ReplicaId,
+        sn: SeqNum,
+        digest: Digest,
+        sink: &mut ActionSink,
+    ) {
+        if let Some(stable) = self.stable_checkpoint {
+            if sn <= stable {
+                return;
+            }
+        }
+        let votes = self.checkpoint_votes.entry(sn).or_default();
+        votes.insert(voter, digest);
+        let matching = votes.values().filter(|d| **d == digest).count();
+        if matching >= self.cfg.quorum() {
+            self.stable_checkpoint = Some(sn);
+            // Garbage-collect delivered slots covered by the checkpoint and
+            // stale checkpoint tallies.
+            self.slots.retain(|slot_sn, slot| *slot_sn > sn || !slot.delivered);
+            self.checkpoint_votes.retain(|vote_sn, _| *vote_sn > sn);
+            sink.stable_checkpoint(sn);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // View change
+    // ------------------------------------------------------------------
+
+    fn prepared_proofs(&self) -> Vec<PreparedProof> {
+        self.slots
+            .iter()
+            .filter(|(sn, slot)| {
+                **sn >= self.next_delivery && slot.sent_commit && slot.proposal.is_some()
+            })
+            .map(|(sn, slot)| PreparedProof {
+                sn: *sn,
+                block: slot.proposal.clone().expect("filtered on proposal"),
+            })
+            .collect()
+    }
+
+    fn start_view_change(&mut self, target: View, now: SimTime, sink: &mut ActionSink) {
+        if target <= self.view && self.in_view_change {
+            return;
+        }
+        let target = if target > self.view { target } else { self.view.next() };
+        self.view = target;
+        self.in_view_change = true;
+        self.last_progress = now;
+        let prepared = self.prepared_proofs();
+        let me = self.cfg.me;
+        sink.broadcast(SbMessage::ViewChange {
+            instance: self.cfg.instance,
+            new_view: target,
+            last_delivered: self.last_delivered(),
+            prepared: prepared.clone(),
+            voter: me,
+        });
+        self.record_view_change_vote(me, target, prepared, now, sink);
+    }
+
+    fn on_view_change(
+        &mut self,
+        voter: ReplicaId,
+        new_view: View,
+        prepared: Vec<PreparedProof>,
+        now: SimTime,
+        sink: &mut ActionSink,
+    ) {
+        if new_view < self.view || (new_view == self.view && !self.in_view_change) {
+            // Stale: we are already past that view.
+            return;
+        }
+        self.record_view_change_vote(voter, new_view, prepared, now, sink);
+
+        // Join the view change once f + 1 replicas vouch for it, even if our
+        // own timer has not fired (standard PBFT liveness amplification).
+        let votes = self
+            .view_change_votes
+            .get(&new_view)
+            .map(|v| v.len())
+            .unwrap_or(0);
+        let joined = self
+            .view_change_votes
+            .get(&new_view)
+            .map(|v| v.contains_key(&self.cfg.me))
+            .unwrap_or(false);
+        if !joined && votes > self.cfg.f() as usize && new_view > self.view {
+            self.view = new_view;
+            self.in_view_change = true;
+            let prepared = self.prepared_proofs();
+            let me = self.cfg.me;
+            sink.broadcast(SbMessage::ViewChange {
+                instance: self.cfg.instance,
+                new_view,
+                last_delivered: self.last_delivered(),
+                prepared: prepared.clone(),
+                voter: me,
+            });
+            self.record_view_change_vote(me, new_view, prepared, now, sink);
+        }
+    }
+
+    fn record_view_change_vote(
+        &mut self,
+        voter: ReplicaId,
+        new_view: View,
+        prepared: Vec<PreparedProof>,
+        now: SimTime,
+        sink: &mut ActionSink,
+    ) {
+        let votes = self.view_change_votes.entry(new_view).or_default();
+        votes.insert(voter, prepared);
+        let have = votes.len();
+        let i_am_new_leader = self.cfg.leader_of(new_view) == self.cfg.me;
+        if i_am_new_leader && have >= self.cfg.quorum() && (self.in_view_change || new_view > self.view)
+        {
+            // Collect the highest prepared block per sequence number from the
+            // quorum of view-change votes.
+            let mut reproposals: BTreeMap<SeqNum, Block> = BTreeMap::new();
+            if let Some(votes) = self.view_change_votes.get(&new_view) {
+                for proofs in votes.values() {
+                    for proof in proofs {
+                        reproposals.entry(proof.sn).or_insert_with(|| proof.block.clone());
+                    }
+                }
+            }
+            let supporters: Vec<ReplicaId> = self
+                .view_change_votes
+                .get(&new_view)
+                .map(|v| v.keys().copied().collect())
+                .unwrap_or_default();
+            let reproposals: Vec<Block> = reproposals.into_values().collect();
+            sink.broadcast(SbMessage::NewView {
+                instance: self.cfg.instance,
+                new_view,
+                supporters,
+                reproposals: reproposals.clone(),
+            });
+            self.enter_new_view(new_view, reproposals, now, sink);
+        }
+    }
+
+    fn on_new_view(
+        &mut self,
+        from: ReplicaId,
+        new_view: View,
+        reproposals: Vec<Block>,
+        now: SimTime,
+        sink: &mut ActionSink,
+    ) {
+        if new_view < self.view || (new_view == self.view && !self.in_view_change) {
+            return;
+        }
+        if from != self.cfg.leader_of(new_view) {
+            return;
+        }
+        self.enter_new_view(new_view, reproposals, now, sink);
+    }
+
+    fn enter_new_view(
+        &mut self,
+        new_view: View,
+        reproposals: Vec<Block>,
+        now: SimTime,
+        sink: &mut ActionSink,
+    ) {
+        self.view = new_view;
+        self.in_view_change = false;
+        self.last_progress = now;
+        let me = self.cfg.me;
+        let leader = self.cfg.leader_of(new_view);
+
+        // Drop voting state of undelivered, uncommitted slots: they will be
+        // re-proposed (either from the carried reproposals or from the new
+        // leader's bucket).
+        self.slots.retain(|sn, slot| {
+            *sn < self.next_delivery || slot.delivered || (slot.sent_commit && slot.commits.len() >= self.cfg.quorum())
+        });
+
+        let mut highest = self.next_delivery;
+        for block in reproposals {
+            let sn = block.header.sn;
+            if sn < self.next_delivery {
+                continue;
+            }
+            if sn >= highest {
+                highest = sn.next();
+            }
+            let digest = block.digest();
+            let slot = self.slots.entry(sn).or_default();
+            if slot.delivered {
+                continue;
+            }
+            if slot.digest.is_some() && slot.digest != Some(digest) {
+                // Keep whatever we already committed; ignore the reproposal.
+                if slot.sent_commit {
+                    continue;
+                }
+                slot.prepares.clear();
+                slot.commits.clear();
+                slot.sent_commit = false;
+            }
+            slot.proposal = Some(block);
+            slot.digest = Some(digest);
+            slot.prepares.insert(leader);
+            if slot.prepares.insert(me) && me != leader {
+                sink.broadcast(SbMessage::Prepare {
+                    instance: self.cfg.instance,
+                    view: new_view,
+                    sn,
+                    digest,
+                    voter: me,
+                });
+            }
+        }
+        if self.next_propose < highest {
+            self.next_propose = highest;
+        }
+        sink.view_changed(new_view, leader);
+        // A prepare quorum may already exist for re-proposed slots.
+        let sns: Vec<SeqNum> = self.slots.keys().copied().collect();
+        for sn in sns {
+            self.check_prepared(sn, sink);
+        }
+        self.try_deliver(now, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::LocalCluster;
+    use orthrus_types::{BlockParams, ClientId, Epoch, Rank, SystemState, Transaction, TxId};
+
+    fn cfg(me: u32, n: u32) -> PbftConfig {
+        PbftConfig {
+            instance: InstanceId::new(0),
+            me: ReplicaId::new(me),
+            num_replicas: n,
+            checkpoint_interval: 4,
+        }
+    }
+
+    fn make_block(instance: u32, sn: u64, view: u64, proposer: u32, ntx: u64) -> Block {
+        let txs: Vec<Transaction> = (0..ntx)
+            .map(|i| {
+                Transaction::payment(
+                    TxId::new(ClientId::new(sn * 1000 + i), 0),
+                    ClientId::new(sn * 1000 + i),
+                    ClientId::new(sn * 1000 + i + 1),
+                    1,
+                )
+            })
+            .collect();
+        Block::new(
+            BlockParams {
+                instance: InstanceId::new(instance),
+                sn: SeqNum::new(sn),
+                epoch: Epoch::new(0),
+                view: View::new(view),
+                proposer: ReplicaId::new(proposer),
+                rank: Rank::new(sn),
+                state: SystemState::new(4),
+            },
+            txs,
+        )
+    }
+
+    #[test]
+    fn config_quorums() {
+        let c = cfg(0, 4);
+        assert_eq!(c.f(), 1);
+        assert_eq!(c.quorum(), 3);
+        assert_eq!(c.leader_of(View::new(0)), ReplicaId::new(0));
+        assert_eq!(c.leader_of(View::new(1)), ReplicaId::new(1));
+        let c7 = PbftConfig {
+            instance: InstanceId::new(3),
+            ..cfg(0, 7)
+        };
+        assert_eq!(c7.leader_of(View::new(0)), ReplicaId::new(3));
+        assert_eq!(c7.leader_of(View::new(5)), ReplicaId::new(1));
+    }
+
+    #[test]
+    fn leader_cannot_propose_wrong_sequence() {
+        let mut leader = PbftInstance::new(cfg(0, 4));
+        let wrong_sn = make_block(0, 5, 0, 0, 1);
+        assert!(leader.propose(wrong_sn, SimTime::ZERO).is_empty());
+        let wrong_instance = make_block(1, 0, 0, 0, 1);
+        assert!(leader.propose(wrong_instance, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn backup_cannot_propose() {
+        let mut backup = PbftInstance::new(cfg(1, 4));
+        let block = make_block(0, 0, 0, 1, 1);
+        assert!(backup.propose(block, SimTime::ZERO).is_empty());
+        assert!(!backup.is_leader());
+    }
+
+    #[test]
+    fn four_replicas_deliver_a_block() {
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 4);
+        let block = make_block(0, 0, 0, 0, 3);
+        cluster.propose(ReplicaId::new(0), block.clone());
+        cluster.run();
+        for r in 0..4 {
+            let delivered = cluster.delivered(ReplicaId::new(r));
+            assert_eq!(delivered.len(), 1, "replica {r} delivered {delivered:?}");
+            assert_eq!(delivered[0].digest(), block.digest());
+        }
+    }
+
+    #[test]
+    fn deliveries_are_in_order_even_with_reordered_messages() {
+        // Propose three blocks; the cluster's router delivers messages in
+        // round-robin order which interleaves the instances' phases.
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 4);
+        for sn in 0..3 {
+            let block = make_block(0, sn, 0, 0, 1);
+            cluster.propose(ReplicaId::new(0), block);
+        }
+        cluster.run();
+        for r in 0..4 {
+            let delivered = cluster.delivered(ReplicaId::new(r));
+            let sns: Vec<u64> = delivered.iter().map(|b| b.header.sn.value()).collect();
+            assert_eq!(sns, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn checkpoint_becomes_stable_and_garbage_collects() {
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 2);
+        for sn in 0..4 {
+            cluster.propose(ReplicaId::new(0), make_block(0, sn, 0, 0, 1));
+        }
+        cluster.run();
+        for r in 0..4 {
+            let inst = cluster.instance(ReplicaId::new(r));
+            assert_eq!(inst.delivered_count(), 4);
+            assert_eq!(inst.stable_checkpoint(), Some(SeqNum::new(3)));
+            // Delivered slots up to the checkpoint were garbage collected.
+            assert!(inst.slots.keys().all(|sn| sn.value() > 3));
+        }
+    }
+
+    #[test]
+    fn equivocating_leader_cannot_get_two_blocks_delivered_at_same_sn() {
+        // Leader sends block A to replicas 1,2 and block B to replica 3.
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 4);
+        let block_a = make_block(0, 0, 0, 0, 1);
+        let block_b = make_block(0, 0, 0, 0, 2);
+        cluster.inject(
+            ReplicaId::new(0),
+            vec![ReplicaId::new(1), ReplicaId::new(2)],
+            SbMessage::PrePrepare { block: block_a.clone() },
+        );
+        cluster.inject(
+            ReplicaId::new(0),
+            vec![ReplicaId::new(3)],
+            SbMessage::PrePrepare { block: block_b.clone() },
+        );
+        cluster.run();
+        // At most one of the two digests may be delivered, and every replica
+        // that delivered anything delivered the same digest.
+        let mut delivered_digests = std::collections::BTreeSet::new();
+        for r in 1..4 {
+            for b in cluster.delivered(ReplicaId::new(r)) {
+                delivered_digests.insert(b.digest());
+            }
+        }
+        assert!(delivered_digests.len() <= 1);
+    }
+
+    #[test]
+    fn view_change_replaces_a_silent_leader() {
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 4);
+        // Leader (replica 0) is silent. The other replicas time out.
+        for r in 1..4 {
+            cluster.timeout(ReplicaId::new(r));
+        }
+        cluster.run();
+        for r in 1..4 {
+            let inst = cluster.instance(ReplicaId::new(r));
+            assert_eq!(inst.current_view(), View::new(1), "replica {r}");
+            assert!(!inst.in_view_change(), "replica {r} should have finished");
+            assert_eq!(inst.current_leader(), ReplicaId::new(1));
+        }
+        // The new leader can now propose and deliver.
+        let block = make_block(0, 0, 1, 1, 1);
+        cluster.propose(ReplicaId::new(1), block);
+        cluster.run();
+        for r in 1..4 {
+            assert_eq!(cluster.delivered(ReplicaId::new(r)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn prepared_block_survives_view_change() {
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 4);
+        let block = make_block(0, 0, 0, 0, 1);
+        // Run the normal case only up to the prepare phase at replicas 1..3:
+        // deliver the pre-prepare and prepares but drop all commit messages.
+        cluster.propose(ReplicaId::new(0), block.clone());
+        cluster.run_dropping(|msg| matches!(msg, SbMessage::Commit { .. }));
+        // Nothing delivered yet.
+        for r in 0..4 {
+            assert!(cluster.delivered(ReplicaId::new(r)).is_empty());
+        }
+        // Now the leader goes silent and the backups change views. The block
+        // was prepared, so the new leader must re-propose it.
+        for r in 1..4 {
+            cluster.timeout(ReplicaId::new(r));
+        }
+        cluster.run();
+        for r in 1..4 {
+            let delivered = cluster.delivered(ReplicaId::new(r));
+            assert_eq!(delivered.len(), 1, "replica {r}");
+            assert_eq!(delivered[0].digest(), block.digest());
+        }
+    }
+
+    #[test]
+    fn sixteen_replicas_deliver_under_quorum_loss_of_f() {
+        // With n = 16, f = 5: even if 5 replicas never vote, blocks deliver.
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 16, 8);
+        cluster.silence(ReplicaId::new(11));
+        cluster.silence(ReplicaId::new(12));
+        cluster.silence(ReplicaId::new(13));
+        cluster.silence(ReplicaId::new(14));
+        cluster.silence(ReplicaId::new(15));
+        for sn in 0..3 {
+            cluster.propose(ReplicaId::new(0), make_block(0, sn, 0, 0, 2));
+        }
+        cluster.run();
+        for r in 0..11 {
+            assert_eq!(cluster.delivered(ReplicaId::new(r)).len(), 3, "replica {r}");
+        }
+    }
+
+    #[test]
+    fn progress_timestamp_advances_on_delivery() {
+        let mut leader = PbftInstance::new(cfg(0, 4));
+        let mut backups: Vec<PbftInstance> = (1..4).map(|i| PbftInstance::new(cfg(i, 4))).collect();
+        let block = make_block(0, 0, 0, 0, 1);
+        let t1 = SimTime::from_millis(500);
+        let mut all_msgs: Vec<(ReplicaId, SbMessage)> = Vec::new();
+        for a in leader.propose(block, t1) {
+            if let SbAction::Broadcast { msg } = a {
+                all_msgs.push((ReplicaId::new(0), msg));
+            }
+        }
+        // Flood messages until quiescent.
+        while let Some((from, msg)) = all_msgs.pop() {
+            for inst in std::iter::once(&mut leader).chain(backups.iter_mut()) {
+                if inst.config().me == from {
+                    continue;
+                }
+                for a in inst.handle_message(from, msg.clone(), t1) {
+                    if let SbAction::Broadcast { msg } = a {
+                        all_msgs.push((inst.config().me, msg));
+                    }
+                }
+            }
+        }
+        assert_eq!(leader.last_progress(), t1);
+        assert_eq!(leader.delivered_count(), 1);
+    }
+}

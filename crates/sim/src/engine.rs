@@ -1,0 +1,580 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the actors, the virtual clock, the event queue, the
+//! network model and the fault plan. It repeatedly pops the earliest event,
+//! advances the clock to its timestamp and dispatches it to the target actor;
+//! messages the actor sends in response are run through the network model
+//! (processing delay → NIC serialization with a per-sender queue →
+//! propagation latency with jitter) and scheduled as future delivery events.
+//!
+//! The per-sender NIC queue is what reproduces the *leader bottleneck* that
+//! motivates Multi-BFT consensus: a single-leader protocol funnels every
+//! block through one NIC, while Multi-BFT spreads proposals over all
+//! replicas.
+
+use crate::actor::{Actor, Context, TimerId};
+use crate::event::EventQueue;
+use crate::faults::FaultPlan;
+use crate::network::NetworkConfig;
+use crate::node::{NodeId, Payload};
+use crate::stats::StatsCollector;
+use orthrus_types::{Duration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// Internal events moved through the queue.
+enum EngineEvent<M> {
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+    },
+}
+
+/// Summary of a completed (or budget-limited) simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationReport {
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+    /// Number of events dispatched.
+    pub events_processed: u64,
+    /// Number of protocol messages sent.
+    pub messages_sent: u64,
+    /// Number of protocol bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// The simulation: actors plus the virtual world they live in.
+pub struct Simulation<M> {
+    actors: HashMap<NodeId, Box<dyn Actor<M>>>,
+    queue: EventQueue<EngineEvent<M>>,
+    network: NetworkConfig,
+    faults: FaultPlan,
+    stats: StatsCollector,
+    rngs: HashMap<NodeId, StdRng>,
+    nic_free: HashMap<NodeId, SimTime>,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+    now: SimTime,
+    seed: u64,
+    events_processed: u64,
+    messages_sent: u64,
+    bytes_sent: u64,
+    max_events: u64,
+}
+
+impl<M: Payload + 'static> Simulation<M> {
+    /// Create a simulation over the given network with no faults.
+    pub fn new(network: NetworkConfig, seed: u64) -> Self {
+        Self::with_faults(network, FaultPlan::none(), seed)
+    }
+
+    /// Create a simulation over the given network and fault plan.
+    pub fn with_faults(network: NetworkConfig, faults: FaultPlan, seed: u64) -> Self {
+        Self {
+            actors: HashMap::new(),
+            queue: EventQueue::new(),
+            network,
+            faults,
+            stats: StatsCollector::new(),
+            rngs: HashMap::new(),
+            nic_free: HashMap::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer_id: 0,
+            now: SimTime::ZERO,
+            seed,
+            events_processed: 0,
+            messages_sent: 0,
+            bytes_sent: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Limit the total number of events the engine will dispatch (a safety
+    /// valve against protocol livelock in tests).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Register an actor. Its `on_start` handler runs at the current virtual
+    /// time once the simulation is (next) run.
+    pub fn add_actor(&mut self, id: NodeId, actor: Box<dyn Actor<M>>) {
+        let mut hasher = orthrus_types::crypto::FnvHasher::default();
+        id.hash(&mut hasher);
+        let node_seed = self.seed ^ hasher.finish();
+        self.rngs.insert(id, StdRng::seed_from_u64(node_seed));
+        self.actors.insert(id, actor);
+        self.queue.schedule(self.now, EngineEvent::Start { node: id });
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The fault plan in force.
+    #[inline]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The network configuration in force.
+    #[inline]
+    pub fn network(&self) -> &NetworkConfig {
+        &self.network
+    }
+
+    /// Read access to the metrics collector.
+    #[inline]
+    pub fn stats(&self) -> &StatsCollector {
+        &self.stats
+    }
+
+    /// Mutable access to the metrics collector (used by harnesses that feed
+    /// in externally computed events).
+    #[inline]
+    pub fn stats_mut(&mut self) -> &mut StatsCollector {
+        &mut self.stats
+    }
+
+    /// Look at an actor's final state, down-cast to its concrete type.
+    pub fn actor_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.actors.get(&id).and_then(|a| a.as_any().downcast_ref())
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Run until the event queue drains or virtual time would exceed
+    /// `deadline`, whichever comes first.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimulationReport {
+        while self.events_processed < self.max_events {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (time, event) = self.queue.pop().expect("peeked event must exist");
+                    self.now = self.now.max(time);
+                    self.dispatch(event);
+                    self.events_processed += 1;
+                }
+                _ => break,
+            }
+        }
+        // Even if no event landed exactly on the deadline, the run covers the
+        // full interval (unless the caller asked for "run forever", in which
+        // case the clock stays at the last event).
+        if deadline.0 != u64::MAX && self.queue.peek_time().map_or(true, |t| t > deadline) {
+            self.now = self.now.max(deadline);
+        }
+        self.report()
+    }
+
+    /// Run for an additional `span` of virtual time.
+    pub fn run_for(&mut self, span: Duration) -> SimulationReport {
+        let deadline = self.now + span;
+        self.run_until(deadline)
+    }
+
+    /// Run until the event queue is completely drained.
+    pub fn run_to_completion(&mut self) -> SimulationReport {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    fn report(&self) -> SimulationReport {
+        SimulationReport {
+            end_time: self.now,
+            events_processed: self.events_processed,
+            messages_sent: self.messages_sent,
+            bytes_sent: self.bytes_sent,
+        }
+    }
+
+    fn node_slowdown(&self, node: NodeId) -> f64 {
+        match node {
+            NodeId::Replica(r) => self.faults.slowdown(r),
+            NodeId::Client(_) => 1.0,
+        }
+    }
+
+    fn node_crashed(&self, node: NodeId, at: SimTime) -> bool {
+        match node {
+            NodeId::Replica(r) => self.faults.is_crashed(r, at),
+            NodeId::Client(_) => false,
+        }
+    }
+
+    fn dispatch(&mut self, event: EngineEvent<M>) {
+        let (node, from, msg, timer): (NodeId, Option<NodeId>, Option<M>, Option<(TimerId, u64)>) =
+            match event {
+                EngineEvent::Start { node } => (node, None, None, None),
+                EngineEvent::Deliver { from, to, msg } => (to, Some(from), Some(msg), None),
+                EngineEvent::Timer { node, id, tag } => (node, None, None, Some((id, tag))),
+            };
+
+        if self.node_crashed(node, self.now) {
+            return;
+        }
+        if let Some((id, _)) = timer {
+            if self.cancelled_timers.remove(&id.0) {
+                return;
+            }
+        }
+        let Some(mut actor) = self.actors.remove(&node) else {
+            return;
+        };
+
+        let mut outbox: Vec<(NodeId, M)> = Vec::new();
+        let mut timer_requests: Vec<(Duration, u64, TimerId)> = Vec::new();
+        {
+            let rng = self
+                .rngs
+                .get_mut(&node)
+                .expect("every actor has an rng stream");
+            let mut ctx = Context {
+                now: self.now,
+                self_id: node,
+                rng,
+                stats: &mut self.stats,
+                outbox: &mut outbox,
+                timer_requests: &mut timer_requests,
+                cancelled_timers: &mut self.cancelled_timers,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            match (from, msg, timer) {
+                (Some(from), Some(msg), _) => actor.on_message(from, msg, &mut ctx),
+                (_, _, Some((_, tag))) => actor.on_timer(tag, &mut ctx),
+                _ => actor.on_start(&mut ctx),
+            }
+        }
+        self.actors.insert(node, actor);
+
+        // Apply buffered timer requests.
+        for (delay, tag, id) in timer_requests {
+            self.queue.schedule(
+                self.now + delay,
+                EngineEvent::Timer { node, id, tag },
+            );
+        }
+        // Apply buffered sends through the network model.
+        self.deliver_outbox(node, outbox);
+    }
+
+    fn deliver_outbox(&mut self, from: NodeId, outbox: Vec<(NodeId, M)>) {
+        if outbox.is_empty() {
+            return;
+        }
+        let slow_from = self.node_slowdown(from);
+        for (to, msg) in outbox {
+            let bytes = msg.wire_bytes();
+            self.messages_sent += 1;
+            self.bytes_sent += bytes;
+            self.stats.messages_sent += 1;
+            self.stats.bytes_sent += bytes;
+
+            let processing = self
+                .network
+                .processing_per_message
+                .mul_f64(slow_from);
+            let ready = self.now + processing;
+
+            // Per-sender NIC: messages serialize one after another.
+            let serialization = self.network.serialization_delay(bytes).mul_f64(slow_from);
+            let nic_free = self.nic_free.get(&from).copied().unwrap_or(SimTime::ZERO);
+            let start = if nic_free > ready { nic_free } else { ready };
+            let done = start + serialization;
+            self.nic_free.insert(from, done);
+
+            let rng = self
+                .rngs
+                .get_mut(&from)
+                .expect("sender has an rng stream");
+            let propagation = self.network.sample_latency(from, to, rng).mul_f64(slow_from);
+            let recv_processing = self
+                .network
+                .processing_per_message
+                .mul_f64(self.node_slowdown(to));
+            let arrival = done + propagation + recv_processing;
+            self.queue
+                .schedule(arrival, EngineEvent::Deliver { from, to, msg });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_types::ReplicaId;
+    use std::any::Any;
+
+    /// A message carrying a hop counter, used to bounce between two actors.
+    #[derive(Clone)]
+    struct Ping {
+        hops: u32,
+        bytes: u64,
+    }
+
+    impl Payload for Ping {
+        fn wire_bytes(&self) -> u64 {
+            self.bytes
+        }
+    }
+
+    /// Bounces every ping back until `hops` reaches a limit and records the
+    /// arrival times.
+    struct Bouncer {
+        peer: NodeId,
+        limit: u32,
+        arrivals: Vec<SimTime>,
+        timer_fired: u32,
+        start_pings: bool,
+    }
+
+    impl Actor<Ping> for Bouncer {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            if self.start_pings {
+                ctx.send(self.peer, Ping { hops: 0, bytes: 100 });
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+            self.arrivals.push(ctx.now());
+            if msg.hops < self.limit {
+                ctx.send(
+                    from,
+                    Ping {
+                        hops: msg.hops + 1,
+                        bytes: msg.bytes,
+                    },
+                );
+            }
+        }
+
+        fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, Ping>) {
+            self.timer_fired += 1;
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn bouncer(peer: NodeId, start: bool) -> Box<Bouncer> {
+        Box::new(Bouncer {
+            peer,
+            limit: 4,
+            arrivals: Vec::new(),
+            timer_fired: 0,
+            start_pings: start,
+        })
+    }
+
+    #[test]
+    fn ping_pong_advances_virtual_time() {
+        let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::lan(), 42);
+        let a = NodeId::replica(0);
+        let b = NodeId::replica(1);
+        sim.add_actor(a, bouncer(b, true));
+        sim.add_actor(b, bouncer(a, false));
+        let report = sim.run_to_completion();
+        // 5 deliveries total (hops 0..=4), alternating between b and a.
+        let a_state: &Bouncer = sim.actor_as(a).unwrap();
+        let b_state: &Bouncer = sim.actor_as(b).unwrap();
+        assert_eq!(a_state.arrivals.len() + b_state.arrivals.len(), 5);
+        assert!(report.end_time > SimTime::ZERO);
+        assert_eq!(report.messages_sent, 5);
+        assert!(report.bytes_sent >= 500);
+        // Arrival times strictly increase across the exchange.
+        let mut all: Vec<SimTime> = a_state
+            .arrivals
+            .iter()
+            .chain(b_state.arrivals.iter())
+            .copied()
+            .collect();
+        let sorted = {
+            let mut s = all.clone();
+            s.sort_unstable();
+            s
+        };
+        all.sort_unstable();
+        assert_eq!(all, sorted);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::wan(), seed);
+            let a = NodeId::replica(0);
+            let b = NodeId::replica(3);
+            sim.add_actor(a, bouncer(b, true));
+            sim.add_actor(b, bouncer(a, false));
+            sim.run_to_completion().end_time
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn straggler_slows_down_its_messages() {
+        let run = |faults: FaultPlan| {
+            let mut sim: Simulation<Ping> =
+                Simulation::with_faults(NetworkConfig::wan(), faults, 1);
+            let a = NodeId::replica(0);
+            let b = NodeId::replica(1);
+            sim.add_actor(a, bouncer(b, true));
+            sim.add_actor(b, bouncer(a, false));
+            sim.run_to_completion().end_time
+        };
+        let normal = run(FaultPlan::none());
+        let slow = run(FaultPlan::one_straggler(ReplicaId::new(0)));
+        assert!(slow > normal);
+        // Half the hops originate at the straggler, so the end-to-end time
+        // should be substantially (though not 10x) larger.
+        assert!(slow.as_micros() as f64 > normal.as_micros() as f64 * 3.0);
+    }
+
+    #[test]
+    fn crashed_nodes_go_silent() {
+        let faults = FaultPlan::none().with_crash(ReplicaId::new(1), SimTime::ZERO);
+        let mut sim: Simulation<Ping> = Simulation::with_faults(NetworkConfig::lan(), faults, 1);
+        let a = NodeId::replica(0);
+        let b = NodeId::replica(1);
+        sim.add_actor(a, bouncer(b, true));
+        sim.add_actor(b, bouncer(a, false));
+        sim.run_to_completion();
+        let b_state: &Bouncer = sim.actor_as(b).unwrap();
+        // The crashed node never processed anything.
+        assert!(b_state.arrivals.is_empty());
+    }
+
+    #[test]
+    fn run_until_respects_the_deadline() {
+        let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::wan(), 11);
+        let a = NodeId::replica(0);
+        let b = NodeId::replica(2);
+        sim.add_actor(a, bouncer(b, true));
+        sim.add_actor(b, bouncer(a, false));
+        let deadline = SimTime::from_millis(100);
+        let report = sim.run_until(deadline);
+        assert!(report.end_time <= SimTime::from_millis(100) || report.end_time == deadline);
+        // Continuing afterwards processes the rest.
+        let final_report = sim.run_to_completion();
+        assert!(final_report.events_processed >= report.events_processed);
+    }
+
+    /// Actor used to test timers and cancellation.
+    struct TimerUser {
+        fired: Vec<u64>,
+        cancel_second: bool,
+    }
+
+    impl Actor<Ping> for TimerUser {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(Duration::from_millis(10), 1);
+            let second = ctx.set_timer(Duration::from_millis(20), 2);
+            if self.cancel_second {
+                ctx.cancel_timer(second);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: Ping, _ctx: &mut Context<'_, Ping>) {}
+        fn on_timer(&mut self, tag: u64, _ctx: &mut Context<'_, Ping>) {
+            self.fired.push(tag);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::lan(), 3);
+        let n = NodeId::replica(0);
+        sim.add_actor(
+            n,
+            Box::new(TimerUser {
+                fired: Vec::new(),
+                cancel_second: true,
+            }),
+        );
+        sim.run_to_completion();
+        let state: &TimerUser = sim.actor_as(n).unwrap();
+        assert_eq!(state.fired, vec![1]);
+    }
+
+    #[test]
+    fn max_events_limits_livelock() {
+        // Two actors that ping each other forever.
+        struct Forever {
+            peer: NodeId,
+        }
+        impl Actor<Ping> for Forever {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                ctx.send(self.peer, Ping { hops: 0, bytes: 8 });
+            }
+            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+                ctx.send(from, msg);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::lan(), 5);
+        sim.set_max_events(500);
+        sim.add_actor(NodeId::replica(0), Box::new(Forever { peer: NodeId::replica(1) }));
+        sim.add_actor(NodeId::replica(1), Box::new(Forever { peer: NodeId::replica(0) }));
+        let report = sim.run_to_completion();
+        assert_eq!(report.events_processed, 500);
+    }
+
+    #[test]
+    fn nic_serialization_queues_large_messages() {
+        // Sending two large messages back-to-back: the second one's delivery
+        // is delayed by the first one's serialization time.
+        struct Burst {
+            peer: NodeId,
+        }
+        impl Actor<Ping> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                ctx.send(self.peer, Ping { hops: 0, bytes: 2_000_000 });
+                ctx.send(self.peer, Ping { hops: 1, bytes: 2_000_000 });
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        struct Sink {
+            arrivals: Vec<SimTime>,
+        }
+        impl Actor<Ping> for Sink {
+            fn on_message(&mut self, _f: NodeId, _m: Ping, ctx: &mut Context<'_, Ping>) {
+                self.arrivals.push(ctx.now());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::lan(), 9);
+        let a = NodeId::replica(0);
+        let b = NodeId::replica(1);
+        sim.add_actor(a, Box::new(Burst { peer: b }));
+        sim.add_actor(b, Box::new(Sink { arrivals: Vec::new() }));
+        sim.run_to_completion();
+        let sink: &Sink = sim.actor_as(b).unwrap();
+        assert_eq!(sink.arrivals.len(), 2);
+        let gap = sink.arrivals[1] - sink.arrivals[0];
+        // 2 MB at 1 Gbps is ~16 ms of serialization; the gap reflects it.
+        assert!(gap >= Duration::from_millis(14), "gap was {gap}");
+    }
+}

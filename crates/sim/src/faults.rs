@@ -1,0 +1,186 @@
+//! Fault plans: crashes, stragglers and message suppression.
+//!
+//! The paper evaluates three fault scenarios:
+//!
+//! * **Stragglers** (§VII-B): one instance runs 10× slower than the others.
+//!   We model this by slowing down the replica that leads the straggling
+//!   instance — its message processing, serialization and propagation are all
+//!   multiplied by the slowdown factor.
+//! * **Detectable faults** (§VII-E): replicas crash at a given time; the view
+//!   change mechanism detects them and replaces them as leaders.
+//! * **Undetectable faults** (§VII-E): Byzantine replicas keep proposing in
+//!   the instance they lead (so no timeout fires) but stop participating in
+//!   other instances. The *behavioural* part lives in `orthrus-core`; the
+//!   fault plan records which replicas are flagged so that test assertions
+//!   and the harness can find them.
+
+use orthrus_types::{ReplicaId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A straggler: a replica whose processing and links are `factor`× slower.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerSpec {
+    /// The slow replica.
+    pub replica: ReplicaId,
+    /// Slowdown factor (the paper uses 10.0).
+    pub factor: f64,
+}
+
+impl StragglerSpec {
+    /// The paper's standard straggler: the given replica is 10× slower.
+    pub fn paper_default(replica: ReplicaId) -> Self {
+        Self {
+            replica,
+            factor: 10.0,
+        }
+    }
+}
+
+/// A crash fault: the replica stops sending and receiving at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// The crashing replica.
+    pub replica: ReplicaId,
+    /// Virtual time of the crash.
+    pub at: SimTime,
+}
+
+/// The complete fault plan for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Replicas that crash (detectable faults).
+    pub crashes: Vec<CrashSpec>,
+    /// Straggler replicas and their slowdown factors.
+    pub stragglers: Vec<StragglerSpec>,
+    /// Replicas flagged as "selfish" Byzantine nodes: they keep leading their
+    /// own instance but ignore every other instance (undetectable faults).
+    pub selfish: Vec<ReplicaId>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with a single 10× straggler, as in the paper's straggler
+    /// experiments (the straggler is the leader of instance 0, i.e. replica
+    /// 0, unless stated otherwise).
+    pub fn one_straggler(replica: ReplicaId) -> Self {
+        Self {
+            stragglers: vec![StragglerSpec::paper_default(replica)],
+            ..Self::default()
+        }
+    }
+
+    /// Add a crash fault.
+    pub fn with_crash(mut self, replica: ReplicaId, at: SimTime) -> Self {
+        self.crashes.push(CrashSpec { replica, at });
+        self
+    }
+
+    /// Add a straggler.
+    pub fn with_straggler(mut self, replica: ReplicaId, factor: f64) -> Self {
+        self.stragglers.push(StragglerSpec { replica, factor });
+        self
+    }
+
+    /// Flag a replica as a selfish (undetectable) Byzantine node.
+    pub fn with_selfish(mut self, replica: ReplicaId) -> Self {
+        self.selfish.push(replica);
+        self
+    }
+
+    /// Is `replica` crashed at time `now`?
+    pub fn is_crashed(&self, replica: ReplicaId, now: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.replica == replica && now >= c.at)
+    }
+
+    /// The slowdown factor of `replica` (1.0 if it is not a straggler).
+    pub fn slowdown(&self, replica: ReplicaId) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.replica == replica)
+            .map(|s| s.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Is `replica` flagged as a selfish Byzantine node?
+    pub fn is_selfish(&self, replica: ReplicaId) -> bool {
+        self.selfish.contains(&replica)
+    }
+
+    /// Number of replicas that are faulty in any way at `now`.
+    pub fn faulty_count(&self, now: SimTime) -> usize {
+        let mut faulty: Vec<ReplicaId> = self
+            .crashes
+            .iter()
+            .filter(|c| now >= c.at)
+            .map(|c| c.replica)
+            .chain(self.selfish.iter().copied())
+            .collect();
+        faulty.sort_unstable();
+        faulty.dedup();
+        faulty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u32) -> ReplicaId {
+        ReplicaId::new(id)
+    }
+
+    #[test]
+    fn empty_plan_has_no_effects() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_crashed(r(0), SimTime::from_secs(100)));
+        assert_eq!(plan.slowdown(r(0)), 1.0);
+        assert!(!plan.is_selfish(r(0)));
+        assert_eq!(plan.faulty_count(SimTime::from_secs(100)), 0);
+    }
+
+    #[test]
+    fn crash_takes_effect_at_its_time() {
+        let plan = FaultPlan::none().with_crash(r(2), SimTime::from_secs(9));
+        assert!(!plan.is_crashed(r(2), SimTime::from_secs(8)));
+        assert!(plan.is_crashed(r(2), SimTime::from_secs(9)));
+        assert!(plan.is_crashed(r(2), SimTime::from_secs(30)));
+        assert!(!plan.is_crashed(r(3), SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn straggler_slowdown_defaults_to_paper_factor() {
+        let plan = FaultPlan::one_straggler(r(0));
+        assert_eq!(plan.slowdown(r(0)), 10.0);
+        assert_eq!(plan.slowdown(r(1)), 1.0);
+    }
+
+    #[test]
+    fn multiple_straggler_entries_take_the_worst() {
+        let plan = FaultPlan::none()
+            .with_straggler(r(1), 2.0)
+            .with_straggler(r(1), 5.0);
+        assert_eq!(plan.slowdown(r(1)), 5.0);
+    }
+
+    #[test]
+    fn selfish_flags() {
+        let plan = FaultPlan::none().with_selfish(r(4)).with_selfish(r(5));
+        assert!(plan.is_selfish(r(4)));
+        assert!(!plan.is_selfish(r(0)));
+        assert_eq!(plan.faulty_count(SimTime::ZERO), 2);
+    }
+
+    #[test]
+    fn faulty_count_deduplicates() {
+        let plan = FaultPlan::none()
+            .with_crash(r(1), SimTime::ZERO)
+            .with_selfish(r(1));
+        assert_eq!(plan.faulty_count(SimTime::from_secs(1)), 1);
+    }
+}

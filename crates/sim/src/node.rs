@@ -1,0 +1,146 @@
+//! Node identifiers and message payload sizing.
+
+use orthrus_types::{ClientId, ReplicaId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node participating in the simulation: either a consensus
+/// replica or a client submitting transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A consensus replica.
+    Replica(ReplicaId),
+    /// A client machine.
+    Client(ClientId),
+}
+
+impl NodeId {
+    /// Shorthand constructor for a replica node.
+    #[inline]
+    pub const fn replica(id: u32) -> Self {
+        NodeId::Replica(ReplicaId::new(id))
+    }
+
+    /// Shorthand constructor for a client node.
+    #[inline]
+    pub const fn client(id: u64) -> Self {
+        NodeId::Client(ClientId::new(id))
+    }
+
+    /// Is this node a replica?
+    #[inline]
+    pub fn is_replica(&self) -> bool {
+        matches!(self, NodeId::Replica(_))
+    }
+
+    /// The replica id, if this node is a replica.
+    #[inline]
+    pub fn as_replica(&self) -> Option<ReplicaId> {
+        match self {
+            NodeId::Replica(r) => Some(*r),
+            NodeId::Client(_) => None,
+        }
+    }
+
+    /// The client id, if this node is a client.
+    #[inline]
+    pub fn as_client(&self) -> Option<ClientId> {
+        match self {
+            NodeId::Client(c) => Some(*c),
+            NodeId::Replica(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Replica(r) => write!(f, "replica-{}", r.value()),
+            NodeId::Client(c) => write!(f, "client-{}", c.value()),
+        }
+    }
+}
+
+impl From<ReplicaId> for NodeId {
+    fn from(value: ReplicaId) -> Self {
+        NodeId::Replica(value)
+    }
+}
+
+impl From<ClientId> for NodeId {
+    fn from(value: ClientId) -> Self {
+        NodeId::Client(value)
+    }
+}
+
+/// Wire size of a message, used by the bandwidth model to charge
+/// serialization delay on the sender's NIC.
+///
+/// Implementations should return the approximate number of bytes the message
+/// would occupy on the wire (headers included); precision to the byte is not
+/// required, only the right order of magnitude (a PBFT vote is a few hundred
+/// bytes, a 4096-transaction block with 500-byte payloads is ~2 MB).
+pub trait Payload {
+    /// Approximate number of bytes this message occupies on the wire.
+    fn wire_bytes(&self) -> u64;
+}
+
+impl Payload for () {
+    fn wire_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl Payload for u64 {
+    fn wire_bytes(&self) -> u64 {
+        8
+    }
+}
+
+impl<T: Payload> Payload for Box<T> {
+    fn wire_bytes(&self) -> u64 {
+        self.as_ref().wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_kinds() {
+        let r = NodeId::replica(3);
+        let c = NodeId::client(9);
+        assert!(r.is_replica());
+        assert!(!c.is_replica());
+        assert_eq!(r.as_replica(), Some(ReplicaId::new(3)));
+        assert_eq!(r.as_client(), None);
+        assert_eq!(c.as_client(), Some(ClientId::new(9)));
+        assert_eq!(c.as_replica(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::replica(0).to_string(), "replica-0");
+        assert_eq!(NodeId::client(7).to_string(), "client-7");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(NodeId::from(ReplicaId::new(1)), NodeId::replica(1));
+        assert_eq!(NodeId::from(ClientId::new(2)), NodeId::client(2));
+    }
+
+    #[test]
+    fn ordering_groups_replicas_before_clients() {
+        assert!(NodeId::replica(100) < NodeId::client(0));
+        assert!(NodeId::replica(1) < NodeId::replica(2));
+    }
+
+    #[test]
+    fn payload_impls() {
+        assert_eq!(().wire_bytes(), 0);
+        assert_eq!(42u64.wire_bytes(), 8);
+        assert_eq!(Box::new(42u64).wire_bytes(), 8);
+    }
+}

@@ -1,0 +1,379 @@
+//! Blocks proposed by sequenced-broadcast instance leaders (paper §III-B).
+//!
+//! A block is `b = (txs, ins, sn, S, σ)`: a batch of transactions, the
+//! instance it belongs to, its sequence number within that instance, the
+//! system state the leader observed when building it, and the leader's
+//! signature. For the dynamic global ordering algorithm (Ladon, Appendix A)
+//! the block additionally carries a `rank`; pre-determined orderings ignore
+//! it.
+
+use crate::crypto::{Digest, KeyPair, Signature};
+use crate::ids::{Epoch, InstanceId, Rank, ReplicaId, SeqNum, View};
+use crate::state::SystemState;
+use crate::transaction::Transaction;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a block: the instance it belongs to and its sequence number
+/// within that instance. With the agreement property of sequenced broadcast,
+/// all honest replicas associate the same block contents with a given id.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlockId {
+    /// SB instance that produced the block.
+    pub instance: InstanceId,
+    /// Sequence number of the block within the instance.
+    pub sn: SeqNum,
+}
+
+impl BlockId {
+    /// Construct a block id.
+    #[inline]
+    pub const fn new(instance: InstanceId, sn: SeqNum) -> Self {
+        Self { instance, sn }
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}^{}", self.sn.value(), self.instance.value())
+    }
+}
+
+/// The header of a block: everything except the transaction batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Instance the block belongs to (`ins`).
+    pub instance: InstanceId,
+    /// Sequence number within the instance (`sn`).
+    pub sn: SeqNum,
+    /// Epoch the sequence number belongs to.
+    pub epoch: Epoch,
+    /// PBFT view in which the block was proposed.
+    pub view: View,
+    /// Replica that proposed the block.
+    pub proposer: ReplicaId,
+    /// Ladon-style rank used by dynamic global ordering; pre-determined
+    /// orderings ignore it.
+    pub rank: Rank,
+    /// System state the leader observed when pulling the batch (`S`).
+    pub state: SystemState,
+    /// Digest of the transaction batch.
+    pub payload_digest: Digest,
+    /// `true` for filler blocks that carry no transactions. ISS delivers
+    /// no-op blocks to keep the pre-determined global log moving when a
+    /// bucket is empty; other protocols use them during recovery.
+    pub no_op: bool,
+    /// For DQBFT's dedicated ordering instance: the ids of data blocks whose
+    /// global order this block decides. Empty for ordinary data blocks.
+    pub ordered_ids: Vec<BlockId>,
+}
+
+impl BlockHeader {
+    /// Digest of the header (what the leader signs).
+    pub fn digest(&self) -> Digest {
+        Digest::of(&(
+            self.instance,
+            self.sn,
+            self.epoch,
+            self.view,
+            self.proposer,
+            self.rank,
+            &self.state,
+            self.payload_digest,
+            self.no_op,
+            &self.ordered_ids,
+        ))
+    }
+
+    /// The block id this header describes.
+    #[inline]
+    pub fn id(&self) -> BlockId {
+        BlockId::new(self.instance, self.sn)
+    }
+}
+
+/// A block: header, transaction batch and the proposer's signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Header fields.
+    pub header: BlockHeader,
+    /// Batch of transactions (`txs`).
+    pub txs: Vec<Transaction>,
+    /// Proposer's signature over the header digest (`σ`).
+    pub signature: Signature,
+}
+
+/// Builder-style constructor inputs for [`Block::new`].
+#[derive(Debug, Clone)]
+pub struct BlockParams {
+    /// Instance the block belongs to.
+    pub instance: InstanceId,
+    /// Sequence number within the instance.
+    pub sn: SeqNum,
+    /// Epoch of the sequence number.
+    pub epoch: Epoch,
+    /// PBFT view of the proposal.
+    pub view: View,
+    /// Proposing replica.
+    pub proposer: ReplicaId,
+    /// Rank assigned by the leader (Ladon ordering).
+    pub rank: Rank,
+    /// System state observed by the leader.
+    pub state: SystemState,
+}
+
+impl Block {
+    /// Build and sign a block containing `txs`.
+    pub fn new(params: BlockParams, txs: Vec<Transaction>) -> Self {
+        let payload_digest = Self::payload_digest(&txs);
+        let header = BlockHeader {
+            instance: params.instance,
+            sn: params.sn,
+            epoch: params.epoch,
+            view: params.view,
+            proposer: params.proposer,
+            rank: params.rank,
+            state: params.state,
+            payload_digest,
+            no_op: false,
+            ordered_ids: Vec::new(),
+        };
+        let signature = KeyPair::for_replica(params.proposer).sign(header.digest());
+        Self {
+            header,
+            txs,
+            signature,
+        }
+    }
+
+    /// Build and sign an empty no-op block (used by ISS-style protocols to
+    /// fill their pre-determined global log and by recovery paths).
+    pub fn no_op(params: BlockParams) -> Self {
+        let payload_digest = Digest::EMPTY;
+        let header = BlockHeader {
+            instance: params.instance,
+            sn: params.sn,
+            epoch: params.epoch,
+            view: params.view,
+            proposer: params.proposer,
+            rank: params.rank,
+            state: params.state,
+            payload_digest,
+            no_op: true,
+            ordered_ids: Vec::new(),
+        };
+        let signature = KeyPair::for_replica(params.proposer).sign(header.digest());
+        Self {
+            header,
+            txs: Vec::new(),
+            signature,
+        }
+    }
+
+    /// Build and sign an ordering block for DQBFT's dedicated ordering
+    /// instance: it carries no transactions, only the ids of data blocks
+    /// whose global order it decides.
+    pub fn ordering(params: BlockParams, ordered_ids: Vec<BlockId>) -> Self {
+        let header = BlockHeader {
+            instance: params.instance,
+            sn: params.sn,
+            epoch: params.epoch,
+            view: params.view,
+            proposer: params.proposer,
+            rank: params.rank,
+            state: params.state,
+            payload_digest: Digest::EMPTY,
+            no_op: true,
+            ordered_ids,
+        };
+        let signature = KeyPair::for_replica(params.proposer).sign(header.digest());
+        Self {
+            header,
+            txs: Vec::new(),
+            signature,
+        }
+    }
+
+    /// Digest of a transaction batch.
+    pub fn payload_digest(txs: &[Transaction]) -> Digest {
+        txs.iter()
+            .map(Transaction::digest)
+            .fold(Digest::EMPTY, Digest::combine)
+    }
+
+    /// The block id (instance, sequence number).
+    #[inline]
+    pub fn id(&self) -> BlockId {
+        self.header.id()
+    }
+
+    /// The header digest (what was signed).
+    #[inline]
+    pub fn digest(&self) -> Digest {
+        self.header.digest()
+    }
+
+    /// Number of transactions in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Is the transaction batch empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Wire size of the block in bytes, as charged by the bandwidth model:
+    /// a fixed header overhead plus each transaction's payload.
+    pub fn wire_bytes(&self) -> u64 {
+        const HEADER_BYTES: u64 = 256;
+        HEADER_BYTES
+            + self
+                .txs
+                .iter()
+                .map(|tx| u64::from(tx.payload_bytes))
+                .sum::<u64>()
+    }
+
+    /// Verify the block's integrity: the proposer's signature covers the
+    /// header, and the header's payload digest matches the batch.
+    pub fn verify(&self) -> crate::error::Result<()> {
+        use crate::error::OrthrusError;
+        if Self::payload_digest(&self.txs) != self.header.payload_digest {
+            return Err(OrthrusError::InvalidBlock {
+                id: self.id(),
+                reason: "payload digest mismatch".into(),
+            });
+        }
+        if self.signature.signer != KeyPair::for_replica(self.header.proposer).public
+            || !self.signature.verify(self.header.digest())
+        {
+            return Err(OrthrusError::InvalidBlock {
+                id: self.id(),
+                reason: "invalid proposer signature".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rank={} |txs|={}{}",
+            self.id(),
+            self.header.rank.value(),
+            self.txs.len(),
+            if self.header.no_op { " (no-op)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+    use crate::transaction::Transaction;
+    use crate::TxId;
+
+    fn params(instance: u32, sn: u64, proposer: u32) -> BlockParams {
+        BlockParams {
+            instance: InstanceId::new(instance),
+            sn: SeqNum::new(sn),
+            epoch: Epoch::new(0),
+            view: View::new(0),
+            proposer: ReplicaId::new(proposer),
+            rank: Rank::new(sn),
+            state: SystemState::new(4),
+        }
+    }
+
+    fn sample_txs(n: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| {
+                Transaction::payment(
+                    TxId::new(ClientId::new(i), 0),
+                    ClientId::new(i),
+                    ClientId::new(i + 1),
+                    1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_verifies_round_trip() {
+        let b = Block::new(params(0, 3, 0), sample_txs(5));
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert!(b.verify().is_ok());
+        assert_eq!(b.id(), BlockId::new(InstanceId::new(0), SeqNum::new(3)));
+    }
+
+    #[test]
+    fn tampering_with_payload_is_detected() {
+        let mut b = Block::new(params(0, 0, 0), sample_txs(3));
+        b.txs.pop();
+        assert!(b.verify().is_err());
+    }
+
+    #[test]
+    fn tampering_with_header_is_detected() {
+        let mut b = Block::new(params(0, 0, 0), sample_txs(3));
+        b.header.rank = Rank::new(999);
+        assert!(b.verify().is_err());
+    }
+
+    #[test]
+    fn forged_proposer_is_detected() {
+        let mut b = Block::new(params(0, 0, 0), sample_txs(1));
+        // Claim the block was proposed by replica 5 while keeping replica 0's
+        // signature: verification must fail.
+        b.header.proposer = ReplicaId::new(5);
+        assert!(b.verify().is_err());
+    }
+
+    #[test]
+    fn no_op_blocks_are_empty_and_valid() {
+        let b = Block::no_op(params(2, 7, 2));
+        assert!(b.is_empty());
+        assert!(b.header.no_op);
+        assert!(b.verify().is_ok());
+    }
+
+    #[test]
+    fn ordering_blocks_carry_ids_and_verify() {
+        let ids = vec![
+            BlockId::new(InstanceId::new(0), SeqNum::new(0)),
+            BlockId::new(InstanceId::new(1), SeqNum::new(0)),
+        ];
+        let b = Block::ordering(params(3, 0, 3), ids.clone());
+        assert!(b.verify().is_ok());
+        assert_eq!(b.header.ordered_ids, ids);
+        // Tampering with the decided order is caught by verification.
+        let mut tampered = b.clone();
+        tampered.header.ordered_ids.reverse();
+        assert!(tampered.verify().is_err());
+    }
+
+    #[test]
+    fn wire_bytes_scales_with_batch() {
+        let small = Block::new(params(0, 0, 0), sample_txs(1));
+        let large = Block::new(params(0, 1, 0), sample_txs(10));
+        assert!(large.wire_bytes() > small.wire_bytes());
+        assert_eq!(Block::no_op(params(0, 2, 0)).wire_bytes(), 256);
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(
+            BlockId::new(InstanceId::new(2), SeqNum::new(5)).to_string(),
+            "B5^2"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! The common error type shared across the workspace.
+
+use crate::block::BlockId;
+use crate::ids::{InstanceId, ObjectKey, ReplicaId, SeqNum, TxId};
+use std::fmt;
+
+/// Convenient result alias using [`OrthrusError`].
+pub type Result<T> = std::result::Result<T, OrthrusError>;
+
+/// Errors produced by protocol components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrthrusError {
+    /// A transaction failed structural validation.
+    InvalidTransaction {
+        /// Offending transaction.
+        id: TxId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A debit leg was not covered by a valid owner signature.
+    MissingAuthorisation {
+        /// Offending transaction.
+        id: TxId,
+        /// The payer whose authorisation is missing.
+        payer: ObjectKey,
+    },
+    /// A block failed verification.
+    InvalidBlock {
+        /// Offending block.
+        id: BlockId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A message referenced an unknown replica.
+    UnknownReplica(ReplicaId),
+    /// A message referenced an unknown SB instance.
+    UnknownInstance(InstanceId),
+    /// An object involved in execution does not exist in the store.
+    UnknownObject(ObjectKey),
+    /// An escrow attempt failed because the object's condition would be
+    /// violated (e.g. insufficient balance).
+    EscrowFailed {
+        /// The object whose condition failed.
+        object: ObjectKey,
+        /// Transaction attempting the escrow.
+        tx: TxId,
+    },
+    /// An operation was applied to an object of the wrong type (e.g. a
+    /// contract write to an owned account).
+    TypeMismatch {
+        /// The object involved.
+        object: ObjectKey,
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// A sequence number was outside the epoch assigned to an instance.
+    SequenceOutOfEpoch {
+        /// The instance involved.
+        instance: InstanceId,
+        /// The offending sequence number.
+        sn: SeqNum,
+    },
+    /// Invalid protocol or scenario configuration.
+    Config(String),
+    /// The simulation reached its event or time budget before completing.
+    SimulationBudgetExhausted {
+        /// Description of the exhausted budget.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OrthrusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrthrusError::InvalidTransaction { id, reason } => {
+                write!(f, "invalid transaction {id}: {reason}")
+            }
+            OrthrusError::MissingAuthorisation { id, payer } => {
+                write!(f, "transaction {id} lacks authorisation from payer {payer}")
+            }
+            OrthrusError::InvalidBlock { id, reason } => {
+                write!(f, "invalid block {id}: {reason}")
+            }
+            OrthrusError::UnknownReplica(r) => write!(f, "unknown replica {r}"),
+            OrthrusError::UnknownInstance(i) => write!(f, "unknown instance {i}"),
+            OrthrusError::UnknownObject(o) => write!(f, "unknown object {o}"),
+            OrthrusError::EscrowFailed { object, tx } => {
+                write!(f, "escrow of {object} failed for {tx}")
+            }
+            OrthrusError::TypeMismatch { object, reason } => {
+                write!(f, "type mismatch on {object}: {reason}")
+            }
+            OrthrusError::SequenceOutOfEpoch { instance, sn } => {
+                write!(f, "sequence number {sn} outside current epoch of {instance}")
+            }
+            OrthrusError::Config(reason) => write!(f, "invalid configuration: {reason}"),
+            OrthrusError::SimulationBudgetExhausted { reason } => {
+                write!(f, "simulation budget exhausted: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrthrusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    #[test]
+    fn display_messages_mention_offenders() {
+        let err = OrthrusError::EscrowFailed {
+            object: ObjectKey::new(7),
+            tx: TxId::new(ClientId::new(1), 2),
+        };
+        let text = err.to_string();
+        assert!(text.contains("escrow"));
+        assert!(text.contains("tx(1:2)"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&OrthrusError::Config("bad".into()));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            OrthrusError::UnknownObject(ObjectKey::new(1)),
+            OrthrusError::UnknownObject(ObjectKey::new(1))
+        );
+        assert_ne!(
+            OrthrusError::UnknownObject(ObjectKey::new(1)),
+            OrthrusError::UnknownObject(ObjectKey::new(2))
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # orthrus-types
+//!
+//! Core data model for the Orthrus Multi-BFT reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`ids`] — strongly typed identifiers (replicas, instances, clients,
+//!   transactions, sequence numbers, epochs, ranks).
+//! * [`crypto`] — simulated cryptographic primitives (digests, signatures and
+//!   a public-key infrastructure). The simulation does not need real
+//!   cryptography, but the types preserve the structure of the paper's model
+//!   (§III-A): every replica owns a key pair and signs blocks and messages.
+//! * [`object`] — the object-centric data model of §III-B: owned and shared
+//!   objects, incremental/decremental/assignment operations and conditions.
+//! * [`transaction`] — payment and contract transactions over objects.
+//! * [`block`] — blocks proposed by sequenced-broadcast instance leaders.
+//! * [`state`] — the Multi-BFT system state `S = (sn_0, …, sn_{m-1})`.
+//! * [`config`] — protocol-level configuration shared by all protocols.
+//! * [`time`] — virtual time used by the discrete-event simulation.
+//! * [`error`] — the common error type.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod config;
+pub mod crypto;
+pub mod error;
+pub mod ids;
+pub mod object;
+pub mod state;
+pub mod time;
+pub mod transaction;
+
+pub use block::{Block, BlockHeader, BlockId, BlockParams};
+pub use config::{NetworkKind, ProtocolConfig, ProtocolKind};
+pub use crypto::{Digest, KeyPair, PublicKey, Signature};
+pub use error::{OrthrusError, Result};
+pub use ids::{ClientId, Epoch, InstanceId, ObjectKey, Rank, ReplicaId, SeqNum, TxId, View};
+pub use object::{Amount, Condition, ObjectOp, ObjectType, Operation, Value};
+pub use state::SystemState;
+pub use time::{Duration, SimTime};
+pub use transaction::{Transaction, TxKind};

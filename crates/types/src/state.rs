@@ -1,0 +1,228 @@
+//! The Multi-BFT system state `S = (sn_0, sn_1, …, sn_{m-1})` (paper §III-D).
+//!
+//! The state of the system — as observed by one replica — is the vector of
+//! the maximum sequence numbers delivered by each SB instance. Leaders embed
+//! the state they observed into every block they propose (`b.S`); backups use
+//! it to re-validate the block's transactions against the same baseline, and
+//! the execution module uses it to decide when a block's prerequisites are
+//! satisfied (Appendix B's running example: block 0 of instance 1 refers to
+//! `S = {0, ⊥}` so that Bob's debit is evaluated after Alice's payment to
+//! Bob).
+
+use crate::ids::{InstanceId, SeqNum};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-instance high-water marks of delivered sequence numbers.
+///
+/// `None` (⊥ in the paper) means the instance has not delivered any block
+/// yet; `Some(sn)` means blocks `0..=sn` of that instance have been
+/// delivered.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemState {
+    delivered: Vec<Option<SeqNum>>,
+}
+
+impl SystemState {
+    /// The empty state for a system with `m` instances (all ⊥).
+    pub fn new(m: usize) -> Self {
+        Self {
+            delivered: vec![None; m],
+        }
+    }
+
+    /// Number of instances tracked by this state.
+    #[inline]
+    pub fn num_instances(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Highest delivered sequence number for `instance`, or `None` if nothing
+    /// has been delivered yet (or the instance is out of range).
+    #[inline]
+    pub fn get(&self, instance: InstanceId) -> Option<SeqNum> {
+        self.delivered.get(instance.as_usize()).copied().flatten()
+    }
+
+    /// Record that `instance` has delivered up to `sn` (monotone: the stored
+    /// high-water mark never decreases).
+    pub fn observe(&mut self, instance: InstanceId, sn: SeqNum) {
+        let idx = instance.as_usize();
+        if idx >= self.delivered.len() {
+            self.delivered.resize(idx + 1, None);
+        }
+        let slot = &mut self.delivered[idx];
+        match slot {
+            Some(current) if *current >= sn => {}
+            _ => *slot = Some(sn),
+        }
+    }
+
+    /// Does `self` cover `other`, i.e. has every instance delivered at least
+    /// as far in `self` as in `other`?
+    ///
+    /// A block whose referenced state `b.S` is covered by the replica's
+    /// current state can be executed: all of its prerequisites have been
+    /// delivered locally (paper §V-C: "the escrow is performed on the system
+    /// state `b.S` referred to by the transaction or any subsequent state
+    /// derived from it").
+    pub fn covers(&self, other: &SystemState) -> bool {
+        for (idx, needed) in other.delivered.iter().enumerate() {
+            if let Some(needed_sn) = needed {
+                match self.delivered.get(idx).copied().flatten() {
+                    Some(have) if have >= *needed_sn => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Point-wise maximum of two states.
+    pub fn merge(&self, other: &SystemState) -> SystemState {
+        let len = self.delivered.len().max(other.delivered.len());
+        let mut merged = Vec::with_capacity(len);
+        for idx in 0..len {
+            let a = self.delivered.get(idx).copied().flatten();
+            let b = other.delivered.get(idx).copied().flatten();
+            merged.push(match (a, b) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (Some(x), None) => Some(x),
+                (None, Some(y)) => Some(y),
+                (None, None) => None,
+            });
+        }
+        SystemState { delivered: merged }
+    }
+
+    /// Total number of blocks delivered across all instances according to
+    /// this state (sequence numbers start at 0, so instance `i` at `Some(sn)`
+    /// has delivered `sn + 1` blocks).
+    pub fn total_delivered_blocks(&self) -> u64 {
+        self.delivered
+            .iter()
+            .map(|slot| slot.map_or(0, |sn| sn.value() + 1))
+            .sum()
+    }
+
+    /// Iterate over `(instance, delivered)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, Option<SeqNum>)> + '_ {
+        self.delivered
+            .iter()
+            .enumerate()
+            .map(|(i, sn)| (InstanceId::new(i as u32), *sn))
+    }
+}
+
+impl fmt::Display for SystemState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S(")?;
+        for (i, slot) in self.delivered.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match slot {
+                Some(sn) => write!(f, "{}", sn.value())?,
+                None => write!(f, "⊥")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(i: u32) -> InstanceId {
+        InstanceId::new(i)
+    }
+    fn sn(v: u64) -> SeqNum {
+        SeqNum::new(v)
+    }
+
+    #[test]
+    fn new_state_is_all_bottom() {
+        let s = SystemState::new(3);
+        assert_eq!(s.num_instances(), 3);
+        for i in 0..3 {
+            assert_eq!(s.get(inst(i)), None);
+        }
+        assert_eq!(s.total_delivered_blocks(), 0);
+    }
+
+    #[test]
+    fn observe_is_monotone() {
+        let mut s = SystemState::new(2);
+        s.observe(inst(0), sn(3));
+        assert_eq!(s.get(inst(0)), Some(sn(3)));
+        s.observe(inst(0), sn(1)); // stale observation must not regress
+        assert_eq!(s.get(inst(0)), Some(sn(3)));
+        s.observe(inst(0), sn(5));
+        assert_eq!(s.get(inst(0)), Some(sn(5)));
+    }
+
+    #[test]
+    fn observe_grows_the_vector_when_needed() {
+        let mut s = SystemState::new(1);
+        s.observe(inst(4), sn(0));
+        assert_eq!(s.get(inst(4)), Some(sn(0)));
+        assert!(s.num_instances() >= 5);
+    }
+
+    #[test]
+    fn covers_reflexive_and_partial_order() {
+        let mut a = SystemState::new(2);
+        a.observe(inst(0), sn(2));
+        let mut b = SystemState::new(2);
+        b.observe(inst(0), sn(1));
+
+        assert!(a.covers(&a));
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        // Incomparable states: each is ahead on a different instance.
+        let mut c = SystemState::new(2);
+        c.observe(inst(1), sn(0));
+        assert!(!b.covers(&c));
+        assert!(!c.covers(&b));
+    }
+
+    #[test]
+    fn empty_requirement_is_always_covered() {
+        let empty = SystemState::new(4);
+        let s = SystemState::new(0);
+        assert!(s.covers(&empty));
+        assert!(empty.covers(&SystemState::new(0)));
+    }
+
+    #[test]
+    fn merge_takes_pointwise_max() {
+        let mut a = SystemState::new(3);
+        a.observe(inst(0), sn(5));
+        a.observe(inst(1), sn(1));
+        let mut b = SystemState::new(3);
+        b.observe(inst(1), sn(4));
+        b.observe(inst(2), sn(0));
+        let m = a.merge(&b);
+        assert_eq!(m.get(inst(0)), Some(sn(5)));
+        assert_eq!(m.get(inst(1)), Some(sn(4)));
+        assert_eq!(m.get(inst(2)), Some(sn(0)));
+        assert!(m.covers(&a));
+        assert!(m.covers(&b));
+    }
+
+    #[test]
+    fn total_delivered_counts_blocks_not_sequence_numbers() {
+        let mut s = SystemState::new(2);
+        s.observe(inst(0), sn(0)); // one block delivered
+        s.observe(inst(1), sn(2)); // three blocks delivered
+        assert_eq!(s.total_delivered_blocks(), 4);
+    }
+
+    #[test]
+    fn display_uses_bottom_symbol() {
+        let mut s = SystemState::new(2);
+        s.observe(inst(0), sn(0));
+        assert_eq!(s.to_string(), "S(0,⊥)");
+    }
+}

@@ -1,0 +1,220 @@
+//! Virtual time.
+//!
+//! The reproduction replaces the paper's AWS deployment with a deterministic
+//! discrete-event simulation (see `DESIGN.md`). All protocol components —
+//! timeouts, latency measurements, the network model — operate on the virtual
+//! clock defined here. Time is measured in whole microseconds, which is more
+//! than fine-grained enough for millisecond-scale network latencies while
+//! keeping arithmetic exact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (microseconds since the start of the simulation).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a floating point number (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000)
+    }
+
+    /// Construct from a floating point number of seconds (rounds to the
+    /// nearest microsecond, saturating at zero for negative inputs).
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Self((secs.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Microseconds in the duration.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in the duration (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds in the duration, as a floating point number.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiply the duration by a scalar factor (used for straggler slowdown
+    /// factors), rounding to the nearest microsecond.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> Self {
+        Self((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Duration) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(Duration::from_secs(2).as_millis(), 2_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t, SimTime::from_millis(1_500));
+        assert_eq!(t - SimTime::from_secs(1), Duration::from_millis(500));
+        // Subtraction saturates rather than panicking: elapsed time queries
+        // against a future timestamp yield zero.
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((Duration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(Duration::from_secs_f64(0.25), Duration::from_millis(250));
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn straggler_scaling() {
+        assert_eq!(Duration::from_millis(10).mul_f64(10.0), Duration::from_millis(100));
+        assert_eq!(Duration::from_millis(10).mul_f64(0.5), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn saturating_since() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(5);
+        assert_eq!(b.saturating_since(a), Duration::from_secs(2));
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+    }
+}

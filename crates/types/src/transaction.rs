@@ -1,0 +1,445 @@
+//! Transactions (paper §III-B).
+//!
+//! A transaction `tx = (O, id, σ)` lists the objects it touches together
+//! with the operation per object, carries a unique identifier and the owner
+//! signatures authorising its decremental operations.
+//!
+//! Transactions fall into two categories:
+//!
+//! * **Payment transactions** involve only owned objects (credits and
+//!   debits). They are conflict-free across payers and are the transactions
+//!   Orthrus confirms through *partial ordering* alone.
+//! * **Contract transactions** additionally touch shared objects (or use
+//!   non-commutative operations) and must be confirmed through *global
+//!   ordering*.
+
+use crate::crypto::{Digest, KeyPair, Signature};
+use crate::ids::{ClientId, ObjectKey, TxId};
+use crate::object::{Amount, ObjectOp, Operation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The category of a transaction, which determines its confirmation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxKind {
+    /// Conflict-free transfer between owned objects; confirmed via partial
+    /// ordering (the fast path).
+    Payment,
+    /// General transaction touching shared objects; confirmed via global
+    /// ordering.
+    Contract,
+}
+
+/// A transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Unique identifier (client id + client-local sequence number).
+    pub id: TxId,
+    /// The set `O` of object operations.
+    pub ops: Vec<ObjectOp>,
+    /// Payment or contract.
+    pub kind: TxKind,
+    /// Signatures of the owners of all owned objects with decremental
+    /// operations (σ in the paper). One signature per distinct payer.
+    pub signatures: Vec<Signature>,
+    /// Size of the client payload in bytes. The paper's evaluation uses
+    /// 500-byte payloads; the network model charges bandwidth per byte.
+    pub payload_bytes: u32,
+}
+
+/// Default client payload size used by the paper's evaluation (§VII-A).
+pub const DEFAULT_PAYLOAD_BYTES: u32 = 500;
+
+impl Transaction {
+    /// Build a single-payer, single-payee payment: `payer → payee` of
+    /// `amount` tokens, signed by the payer.
+    pub fn payment(id: TxId, payer: ClientId, payee: ClientId, amount: Amount) -> Self {
+        Self::multi_payment(id, &[(payer, amount)], &[(payee, amount)])
+    }
+
+    /// Build a multi-payer / multi-payee payment. Each payer entry debits the
+    /// payer by the given amount; each payee entry credits the payee. Entries
+    /// naming the same payer are aggregated into one debit leg (a transaction
+    /// carries at most one decremental operation per object, matching the
+    /// paper's object-set model).
+    ///
+    /// The paper splits such transactions into single-payer sub-transactions
+    /// handled by (possibly) different instances and glues them back together
+    /// with the escrow mechanism (§IV-C, Challenge-I).
+    pub fn multi_payment(
+        id: TxId,
+        payers: &[(ClientId, Amount)],
+        payees: &[(ClientId, Amount)],
+    ) -> Self {
+        let payers = Self::aggregate_payers(payers);
+        let mut ops = Vec::with_capacity(payers.len() + payees.len());
+        let mut signatures = Vec::with_capacity(payers.len());
+        for &(key, amount) in &payers {
+            ops.push(ObjectOp::debit(key, amount));
+            let digest = Self::authorisation_digest(id, key, amount);
+            signatures.push(KeyPair::for_owner(key.value()).sign(digest));
+        }
+        for &(payee, amount) in payees {
+            ops.push(ObjectOp::credit(ObjectKey::account_of(payee), amount));
+        }
+        Self {
+            id,
+            ops,
+            kind: TxKind::Payment,
+            signatures,
+            payload_bytes: DEFAULT_PAYLOAD_BYTES,
+        }
+    }
+
+    /// Merge payer entries naming the same account, preserving first-seen
+    /// order.
+    fn aggregate_payers(payers: &[(ClientId, Amount)]) -> Vec<(ObjectKey, Amount)> {
+        let mut merged: Vec<(ObjectKey, Amount)> = Vec::with_capacity(payers.len());
+        for &(payer, amount) in payers {
+            let key = ObjectKey::account_of(payer);
+            match merged.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, total)) => *total += amount,
+                None => merged.push((key, amount)),
+            }
+        }
+        merged
+    }
+
+    /// Build a contract transaction: the listed payers each pay `fee` into
+    /// the contract, and the contract performs the given shared-object
+    /// operations.
+    ///
+    /// This mirrors the running example of Appendix B: "a smart contract that
+    /// requires two clients to invoke it together, incurring a cost of $1 per
+    /// client".
+    pub fn contract(
+        id: TxId,
+        payers: &[(ClientId, Amount)],
+        shared_ops: Vec<ObjectOp>,
+    ) -> Self {
+        let payers = Self::aggregate_payers(payers);
+        let mut ops = Vec::with_capacity(payers.len() + shared_ops.len());
+        let mut signatures = Vec::with_capacity(payers.len());
+        for &(key, amount) in &payers {
+            ops.push(ObjectOp::debit(key, amount));
+            let digest = Self::authorisation_digest(id, key, amount);
+            signatures.push(KeyPair::for_owner(key.value()).sign(digest));
+        }
+        ops.extend(shared_ops);
+        Self {
+            id,
+            ops,
+            kind: TxKind::Contract,
+            signatures,
+            payload_bytes: DEFAULT_PAYLOAD_BYTES,
+        }
+    }
+
+    /// Construct a transaction from raw parts, inferring its kind.
+    ///
+    /// The kind is `Payment` iff every operation is a credit or debit on an
+    /// owned object; otherwise it is `Contract`.
+    pub fn from_ops(id: TxId, ops: Vec<ObjectOp>, signatures: Vec<Signature>) -> Self {
+        let kind = if ops.iter().all(|o| !o.is_shared() && o.op.is_payment_op()) {
+            TxKind::Payment
+        } else {
+            TxKind::Contract
+        };
+        Self {
+            id,
+            ops,
+            kind,
+            signatures,
+            payload_bytes: DEFAULT_PAYLOAD_BYTES,
+        }
+    }
+
+    /// Override the payload size (bytes) carried by this transaction.
+    pub fn with_payload_bytes(mut self, bytes: u32) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Digest a payer's authorisation of a single debit leg.
+    pub fn authorisation_digest(id: TxId, payer: ObjectKey, amount: Amount) -> Digest {
+        Digest::of(&(id, payer, amount))
+    }
+
+    /// Digest of the whole transaction (used inside block digests).
+    pub fn digest(&self) -> Digest {
+        Digest::of(&(self.id, &self.ops, self.payload_bytes))
+    }
+
+    /// Is this a payment transaction (fast-path eligible)?
+    #[inline]
+    pub fn is_payment(&self) -> bool {
+        self.kind == TxKind::Payment
+    }
+
+    /// Is this a contract transaction (requires global ordering)?
+    #[inline]
+    pub fn is_contract(&self) -> bool {
+        self.kind == TxKind::Contract
+    }
+
+    /// Keys of the owned objects this transaction debits (the payers).
+    /// Bucket assignment and escrow both iterate over exactly these legs.
+    pub fn payers(&self) -> impl Iterator<Item = ObjectKey> + '_ {
+        self.ops
+            .iter()
+            .filter(|o| o.is_owned_decrement())
+            .map(|o| o.key)
+    }
+
+    /// Keys of the owned objects this transaction credits (the payees).
+    pub fn payees(&self) -> impl Iterator<Item = ObjectKey> + '_ {
+        self.ops
+            .iter()
+            .filter(|o| o.is_owned_increment())
+            .map(|o| o.key)
+    }
+
+    /// Keys of the shared objects this transaction touches.
+    pub fn shared_objects(&self) -> impl Iterator<Item = ObjectKey> + '_ {
+        self.ops.iter().filter(|o| o.is_shared()).map(|o| o.key)
+    }
+
+    /// All object keys touched by this transaction.
+    pub fn involved_keys(&self) -> impl Iterator<Item = ObjectKey> + '_ {
+        self.ops.iter().map(|o| o.key)
+    }
+
+    /// Number of distinct payers.
+    pub fn payer_count(&self) -> usize {
+        let mut payers: Vec<ObjectKey> = self.payers().collect();
+        payers.sort_unstable();
+        payers.dedup();
+        payers.len()
+    }
+
+    /// Does the transaction have more than one payer (and therefore span
+    /// multiple buckets / instances)?
+    pub fn is_multi_payer(&self) -> bool {
+        self.payer_count() > 1
+    }
+
+    /// Total amount debited across all payer legs.
+    pub fn total_debit(&self) -> Amount {
+        self.ops
+            .iter()
+            .filter(|o| o.is_owned_decrement())
+            .map(|o| o.op.amount())
+            .sum()
+    }
+
+    /// Total amount credited across all payee legs.
+    pub fn total_credit(&self) -> Amount {
+        self.ops
+            .iter()
+            .filter(|o| o.is_owned_increment())
+            .map(|o| o.op.amount())
+            .sum()
+    }
+
+    /// Verify the structure and authorisation of the transaction (paper
+    /// §V-A: "it verifies the validity of the transaction's format and checks
+    /// the owner's signature").
+    ///
+    /// Checks performed:
+    /// 1. the transaction touches at least one owned object (every
+    ///    transaction is initiated by a client whose account is owned);
+    /// 2. a payment transaction contains no shared-object legs;
+    /// 3. every owned-object debit leg is covered by a valid signature of the
+    ///    object's owner.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        use crate::error::OrthrusError;
+        if !self
+            .ops
+            .iter()
+            .any(|o| o.object_type == crate::object::ObjectType::Owned)
+        {
+            return Err(OrthrusError::InvalidTransaction {
+                id: self.id,
+                reason: "transaction must involve at least one owned object".into(),
+            });
+        }
+        if self.kind == TxKind::Payment && self.ops.iter().any(|o| o.is_shared()) {
+            return Err(OrthrusError::InvalidTransaction {
+                id: self.id,
+                reason: "payment transaction must not touch shared objects".into(),
+            });
+        }
+        // At most one decremental operation per object: the escrow log keys
+        // reservations by (object, transaction), so duplicate debit legs on
+        // the same account would alias each other.
+        let mut debit_keys: Vec<ObjectKey> = self
+            .ops
+            .iter()
+            .filter(|o| o.is_owned_decrement())
+            .map(|o| o.key)
+            .collect();
+        let distinct = {
+            let mut d = debit_keys.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len()
+        };
+        if distinct != debit_keys.len() {
+            debit_keys.sort_unstable();
+            return Err(OrthrusError::InvalidTransaction {
+                id: self.id,
+                reason: "duplicate decremental operations on the same object".into(),
+            });
+        }
+        for leg in self.ops.iter().filter(|o| o.is_owned_decrement()) {
+            let amount = match leg.op {
+                Operation::Debit(a) => a,
+                _ => unreachable!("is_owned_decrement implies Debit"),
+            };
+            let digest = Self::authorisation_digest(self.id, leg.key, amount);
+            let authorised = self
+                .signatures
+                .iter()
+                .any(|sig| sig.signer.owner == leg.key.value() && sig.verify(digest));
+            if !authorised {
+                return Err(OrthrusError::MissingAuthorisation {
+                    id: self.id,
+                    payer: leg.key,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            TxKind::Payment => "payment",
+            TxKind::Contract => "contract",
+        };
+        write!(f, "{} {} ({} ops)", kind, self.id, self.ops.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    fn tx_id(seq: u64) -> TxId {
+        TxId::new(ClientId::new(1), seq)
+    }
+
+    #[test]
+    fn simple_payment_shape() {
+        let tx = Transaction::payment(tx_id(0), ClientId::new(1), ClientId::new(2), 10);
+        assert!(tx.is_payment());
+        assert!(!tx.is_multi_payer());
+        assert_eq!(tx.payers().collect::<Vec<_>>(), vec![ObjectKey::new(1)]);
+        assert_eq!(tx.payees().collect::<Vec<_>>(), vec![ObjectKey::new(2)]);
+        assert_eq!(tx.total_debit(), 10);
+        assert_eq!(tx.total_credit(), 10);
+        assert!(tx.validate().is_ok());
+    }
+
+    #[test]
+    fn multi_payer_payment_spans_buckets() {
+        let tx = Transaction::multi_payment(
+            tx_id(1),
+            &[(ClientId::new(1), 1), (ClientId::new(2), 1)],
+            &[(ClientId::new(3), 2)],
+        );
+        assert!(tx.is_payment());
+        assert!(tx.is_multi_payer());
+        assert_eq!(tx.payer_count(), 2);
+        assert_eq!(tx.total_debit(), 2);
+        assert_eq!(tx.total_credit(), 2);
+        assert!(tx.validate().is_ok());
+    }
+
+    #[test]
+    fn contract_transaction_is_detected() {
+        let tx = Transaction::contract(
+            tx_id(2),
+            &[(ClientId::new(1), 1), (ClientId::new(2), 1)],
+            vec![ObjectOp::set_shared(ObjectKey::new(999), 42)],
+        );
+        assert!(tx.is_contract());
+        assert_eq!(tx.shared_objects().count(), 1);
+        assert_eq!(tx.payer_count(), 2);
+        assert!(tx.validate().is_ok());
+    }
+
+    #[test]
+    fn kind_inference_from_ops() {
+        let payment_ops = vec![
+            ObjectOp::debit(ObjectKey::new(1), 5),
+            ObjectOp::credit(ObjectKey::new(2), 5),
+        ];
+        let tx = Transaction::from_ops(tx_id(3), payment_ops, vec![]);
+        assert_eq!(tx.kind, TxKind::Payment);
+
+        let contract_ops = vec![
+            ObjectOp::debit(ObjectKey::new(1), 5),
+            ObjectOp::set_shared(ObjectKey::new(7), 1),
+        ];
+        let tx = Transaction::from_ops(tx_id(4), contract_ops, vec![]);
+        assert_eq!(tx.kind, TxKind::Contract);
+    }
+
+    #[test]
+    fn validation_rejects_missing_signature() {
+        let ops = vec![
+            ObjectOp::debit(ObjectKey::new(1), 5),
+            ObjectOp::credit(ObjectKey::new(2), 5),
+        ];
+        let tx = Transaction::from_ops(tx_id(5), ops, vec![]);
+        assert!(tx.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_wrong_signer() {
+        let id = tx_id(6);
+        let ops = vec![
+            ObjectOp::debit(ObjectKey::new(1), 5),
+            ObjectOp::credit(ObjectKey::new(2), 5),
+        ];
+        // Signature from the wrong owner (account 2 signs account 1's debit).
+        let digest = Transaction::authorisation_digest(id, ObjectKey::new(1), 5);
+        let sig = KeyPair::for_owner(2).sign(digest);
+        let tx = Transaction::from_ops(id, ops, vec![sig]);
+        assert!(tx.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_payment_with_shared_object() {
+        let id = tx_id(7);
+        let mut tx = Transaction::payment(id, ClientId::new(1), ClientId::new(2), 1);
+        tx.ops.push(ObjectOp::set_shared(ObjectKey::new(9), 1));
+        // kind still says Payment, so validation must flag the inconsistency.
+        assert!(tx.validate().is_err());
+    }
+
+    #[test]
+    fn validation_requires_an_owned_object() {
+        let id = tx_id(8);
+        let tx = Transaction::from_ops(id, vec![ObjectOp::set_shared(ObjectKey::new(9), 1)], vec![]);
+        assert!(tx.validate().is_err());
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let a = Transaction::payment(tx_id(9), ClientId::new(1), ClientId::new(2), 10);
+        let b = Transaction::payment(tx_id(9), ClientId::new(1), ClientId::new(2), 11);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn payload_override() {
+        let tx = Transaction::payment(tx_id(10), ClientId::new(1), ClientId::new(2), 10)
+            .with_payload_bytes(128);
+        assert_eq!(tx.payload_bytes, 128);
+    }
+}

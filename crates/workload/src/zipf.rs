@@ -1,0 +1,127 @@
+//! A small, dependency-free Zipf sampler.
+//!
+//! Account popularity in public blockchains is heavily skewed: a few
+//! exchanges and contracts appear in a large fraction of transactions while
+//! most accounts are touched rarely. The paper's evaluation replays a real
+//! Ethereum trace; our synthetic substitute (see `DESIGN.md`) reproduces the
+//! skew with a Zipf distribution over the account population.
+
+use rand::Rng;
+
+/// Zipf distribution over `{0, 1, …, n-1}` with exponent `s`
+/// (`P(k) ∝ 1 / (k+1)^s`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution for `n` elements with exponent `s`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; `s ≈ 1` matches the
+    /// classic "80/20"-style skew observed in blockchain workloads.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for value in &mut cdf {
+            *value /= total;
+        }
+        // Guard against floating point drift on the last bucket.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of elements in the support.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Is the support empty? (Never true: construction requires `n > 0`.)
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample one element (its index in `0..n`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_exponent_is_zero() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_exponent_is_high() {
+        let zipf = Zipf::new(1_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0u32;
+        let samples = 50_000;
+        for _ in 0..samples {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1 and n = 1000 the top-10 mass is ~39%; uniform would be 1%.
+        let share = head as f64 / samples as f64;
+        assert!(share > 0.3, "head share was {share}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(7, 1.2);
+        assert_eq!(zipf.len(), 7);
+        assert!(!zipf.is_empty());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_element_support() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(zipf.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

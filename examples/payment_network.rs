@@ -1,0 +1,56 @@
+//! Payment network: a payments-only workload (the conflict-free case the
+//! paper's partial ordering is designed for), including multi-payer
+//! transfers that exercise the cross-instance escrow mechanism.
+//!
+//! The example runs the same workload with and without a 10× straggler and
+//! shows that Orthrus's payment fast path keeps latency low in both cases.
+//!
+//! ```bash
+//! cargo run --release --example payment_network
+//! ```
+
+use orthrus::prelude::*;
+
+fn scenario(straggler: bool) -> Scenario {
+    let workload = WorkloadConfig {
+        num_accounts: 256,
+        num_transactions: 1_500,
+        payment_share: 1.0,     // payments only
+        multi_payer_share: 0.1, // 10% of them have two payers
+        num_shared_objects: 0,
+        ..WorkloadConfig::small()
+    };
+    let mut s = Scenario::new(ProtocolKind::Orthrus, NetworkKind::Wan, 8)
+        .with_workload(workload)
+        .with_seed(3);
+    s.config.batch_size = 256;
+    if straggler {
+        s = s.with_straggler();
+    }
+    s
+}
+
+fn main() {
+    for straggler in [false, true] {
+        let label = if straggler { "with a 10x straggler" } else { "no straggler" };
+        println!("== payments-only workload on 8 WAN replicas ({label}) ==");
+        let outcome = run_scenario(&scenario(straggler));
+        println!("  confirmed        : {}/{}", outcome.confirmed, outcome.submitted);
+        println!("  throughput       : {:.2} ktps", outcome.throughput_ktps);
+        println!("  average latency  : {}", outcome.avg_latency);
+        println!(
+            "  global ordering  : {} ({:.1}% of end-to-end latency)",
+            outcome.breakdown.global_ordering,
+            outcome.breakdown.global_ordering_share() * 100.0
+        );
+        let first = outcome.state_digests[0].1;
+        assert!(outcome.state_digests.iter().all(|(_, d)| *d == first));
+        println!("  state digests    : all {} replicas agree", outcome.state_digests.len());
+        println!();
+    }
+    println!(
+        "Payments are confirmed from the partial logs alone, so the straggler's\n\
+         slow instance barely affects their latency — exactly the motivation for\n\
+         Orthrus's concurrent partial ordering."
+    );
+}

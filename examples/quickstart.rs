@@ -1,0 +1,50 @@
+//! Quickstart: run Orthrus on a small simulated LAN cluster and print the
+//! headline metrics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use orthrus::prelude::*;
+
+fn main() {
+    // Four replicas, four SB instances, a small Ethereum-like workload with
+    // the paper's 46% payment share.
+    let workload = WorkloadConfig::small()
+        .with_transactions(1_000)
+        .with_payment_share(0.46);
+    let scenario = Scenario::new(ProtocolKind::Orthrus, NetworkKind::Lan, 4)
+        .with_workload(workload)
+        .with_seed(1);
+
+    println!("running Orthrus on a 4-replica simulated LAN ...");
+    let outcome = run_scenario(&scenario);
+
+    println!();
+    println!("submitted transactions : {}", outcome.submitted);
+    println!("confirmed transactions : {}", outcome.confirmed);
+    println!("throughput             : {:.2} ktps", outcome.throughput_ktps);
+    println!("average latency        : {}", outcome.avg_latency);
+    println!("p95 latency            : {}", outcome.p95_latency);
+    println!("blocks delivered       : {}", outcome.blocks_delivered);
+    println!();
+    println!("latency breakdown (average per stage):");
+    println!("  send             {}", outcome.breakdown.send);
+    println!("  preprocessing    {}", outcome.breakdown.preprocess);
+    println!("  partial ordering {}", outcome.breakdown.partial_ordering);
+    println!("  global ordering  {}", outcome.breakdown.global_ordering);
+    println!("  reply            {}", outcome.breakdown.reply);
+
+    // Every honest replica must end in the same state (safety, Theorem 1).
+    let first = outcome.state_digests[0].1;
+    assert!(
+        outcome.state_digests.iter().all(|(_, d)| *d == first),
+        "replica states diverged"
+    );
+    println!();
+    println!(
+        "all {} replicas agree on the final state digest {}",
+        outcome.state_digests.len(),
+        first
+    );
+}

@@ -1,0 +1,61 @@
+//! Smart contracts: the hybrid-ordering case.
+//!
+//! This example mirrors the running example of the paper's appendix: clients
+//! make plain payments while also invoking a shared smart contract that
+//! charges each caller a fee. Contract transactions must be globally ordered;
+//! payments by the same payers keep flowing thanks to the escrow mechanism.
+//!
+//! The example compares Orthrus against Ladon (dynamic global ordering
+//! without the payment fast path) on the same mixed workload.
+//!
+//! ```bash
+//! cargo run --release --example smart_contracts
+//! ```
+
+use orthrus::prelude::*;
+
+fn scenario(protocol: ProtocolKind, payment_share: f64) -> Scenario {
+    let workload = WorkloadConfig {
+        num_accounts: 256,
+        num_transactions: 1_200,
+        payment_share,
+        multi_payer_share: 0.05,
+        num_shared_objects: 16,
+        ..WorkloadConfig::small()
+    };
+    let mut s = Scenario::new(protocol, NetworkKind::Wan, 8)
+        .with_workload(workload)
+        .with_seed(5);
+    s.config.batch_size = 256;
+    s
+}
+
+fn main() {
+    println!("mixed payment / contract workload on 8 WAN replicas\n");
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>14}",
+        "protocol", "payments", "throughput", "avg latency", "global share"
+    );
+    for (protocol, share) in [
+        (ProtocolKind::Orthrus, 0.46),
+        (ProtocolKind::Ladon, 0.46),
+        (ProtocolKind::Orthrus, 0.9),
+        (ProtocolKind::Ladon, 0.9),
+    ] {
+        let outcome = run_scenario(&scenario(protocol, share));
+        assert_eq!(outcome.confirmed, outcome.submitted);
+        println!(
+            "{:<10} {:>8.0}% {:>9.2} ktps {:>12} {:>13.1}%",
+            protocol.label(),
+            share * 100.0,
+            outcome.throughput_ktps,
+            outcome.avg_latency,
+            outcome.breakdown.global_ordering_share() * 100.0
+        );
+    }
+    println!(
+        "\nContract transactions still pay the global-ordering price in both\n\
+         protocols, but Orthrus confirms the payment fraction without it, so a\n\
+         higher payment share directly lowers its average latency (paper Fig. 5)."
+    );
+}

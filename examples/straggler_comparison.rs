@@ -1,0 +1,73 @@
+//! Straggler comparison: reproduce the headline qualitative claim of the
+//! paper on a small scale — with one 10× straggler instance, pre-determined
+//! global ordering (ISS/RCC/Mir) stalls while Orthrus keeps confirming
+//! payments quickly.
+//!
+//! ```bash
+//! cargo run --release --example straggler_comparison
+//! ```
+
+use orthrus::prelude::*;
+
+fn scenario(protocol: ProtocolKind, straggler: bool) -> Scenario {
+    let workload = WorkloadConfig {
+        num_accounts: 256,
+        num_transactions: 1_000,
+        payment_share: 0.46,
+        num_shared_objects: 16,
+        ..WorkloadConfig::small()
+    };
+    let mut s = Scenario::new(protocol, NetworkKind::Wan, 8)
+        .with_workload(workload)
+        .with_seed(7);
+    s.config.batch_size = 128;
+    if straggler {
+        s = s.with_straggler();
+    }
+    s
+}
+
+fn main() {
+    let protocols = [
+        ProtocolKind::Orthrus,
+        ProtocolKind::Ladon,
+        ProtocolKind::Dqbft,
+        ProtocolKind::Iss,
+        ProtocolKind::Rcc,
+        ProtocolKind::MirBft,
+    ];
+    for straggler in [false, true] {
+        println!(
+            "== 8 WAN replicas, {} ==",
+            if straggler { "one 10x straggler" } else { "no straggler" }
+        );
+        println!(
+            "{:<10} {:>12} {:>14} {:>14}",
+            "protocol", "throughput", "avg latency", "p95 latency"
+        );
+        let mut baseline_latency = None;
+        for protocol in protocols {
+            let outcome = run_scenario(&scenario(protocol, straggler));
+            println!(
+                "{:<10} {:>9.2} ktps {:>14} {:>14}",
+                protocol.label(),
+                outcome.throughput_ktps,
+                outcome.avg_latency,
+                outcome.p95_latency
+            );
+            if protocol == ProtocolKind::Orthrus {
+                baseline_latency = Some(outcome.avg_latency);
+            } else if straggler && protocol == ProtocolKind::Iss {
+                if let Some(orthrus) = baseline_latency {
+                    let reduction = 1.0
+                        - orthrus.as_secs_f64() / outcome.avg_latency.as_secs_f64().max(1e-9);
+                    println!(
+                        "           -> Orthrus latency is {:.0}% lower than ISS under a straggler",
+                        reduction * 100.0
+                    );
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,56 @@
+//! # Orthrus
+//!
+//! A Rust reproduction of *“Orthrus: Accelerating Multi-BFT Consensus through
+//! Concurrent Partial Ordering of Transactions”* (ICDE 2025).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`types`] — the data model (objects, transactions, blocks, system state);
+//! * [`sim`] — the deterministic discrete-event simulation substrate;
+//! * [`sb`] — sequenced broadcast (PBFT) instances;
+//! * [`ordering`] — partial/global logs and the global-ordering policies
+//!   (pre-determined, DQBFT, Ladon);
+//! * [`execution`] — the object store, escrow mechanism and executor;
+//! * [`workload`] — synthetic Ethereum-like workload generation;
+//! * [`core`] — the Orthrus replica, the baseline protocols and the
+//!   [`core::runner::run_scenario`] entry point used by examples, tests and
+//!   benchmarks.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use orthrus::prelude::*;
+//!
+//! // Four replicas on a simulated LAN running Orthrus over a small workload.
+//! let scenario = Scenario::new(ProtocolKind::Orthrus, NetworkKind::Lan, 4)
+//!     .with_workload(WorkloadConfig::small().with_transactions(200));
+//! let outcome = run_scenario(&scenario);
+//! assert_eq!(outcome.confirmed, outcome.submitted);
+//! println!(
+//!     "throughput {:.1} ktps, avg latency {}",
+//!     outcome.throughput_ktps, outcome.avg_latency
+//! );
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use orthrus_core as core;
+pub use orthrus_execution as execution;
+pub use orthrus_ordering as ordering;
+pub use orthrus_sb as sb;
+pub use orthrus_sim as sim;
+pub use orthrus_types as types;
+pub use orthrus_workload as workload;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use orthrus_core::{run_scenario, Scenario, ScenarioOutcome};
+    pub use orthrus_execution::{Executor, ObjectStore, TxOutcome};
+    pub use orthrus_sim::{FaultPlan, NetworkConfig, StatsCollector};
+    pub use orthrus_types::{
+        Amount, Block, ClientId, Duration, InstanceId, NetworkKind, ObjectKey, ProtocolConfig,
+        ProtocolKind, ReplicaId, SimTime, Transaction, TxId, TxKind,
+    };
+    pub use orthrus_workload::{Workload, WorkloadConfig};
+}
