@@ -45,14 +45,8 @@ fn main() {
     );
     let mut points = Vec::new();
     for protocol in [ProtocolKind::Ladon, ProtocolKind::Iss, ProtocolKind::Dqbft] {
-        let scenario = harness::paper_scenario(
-            protocol,
-            NetworkKind::Wan,
-            replicas,
-            0.46,
-            true,
-            scale,
-        );
+        let scenario =
+            harness::paper_scenario(protocol, NetworkKind::Wan, replicas, 0.46, true, scale);
         let point = harness::measure(protocol.label(), f64::from(replicas), &scenario);
         harness::print_row(&point);
         points.push(point);

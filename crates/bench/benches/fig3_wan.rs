@@ -10,7 +10,11 @@ use orthrus_types::{NetworkKind, ProtocolKind};
 fn main() {
     let scale = BenchScale::from_env();
     for straggler in [false, true] {
-        let figure = if straggler { "fig3cd_wan_straggler" } else { "fig3ab_wan_no_straggler" };
+        let figure = if straggler {
+            "fig3cd_wan_straggler"
+        } else {
+            "fig3ab_wan_no_straggler"
+        };
         harness::print_header(
             &format!(
                 "Figure 3{} — WAN, {} straggler(s)",
@@ -22,14 +26,8 @@ fn main() {
         let mut points = Vec::new();
         for &n in &scale.replica_counts() {
             for protocol in ProtocolKind::ALL {
-                let scenario = harness::paper_scenario(
-                    protocol,
-                    NetworkKind::Wan,
-                    n,
-                    0.46,
-                    straggler,
-                    scale,
-                );
+                let scenario =
+                    harness::paper_scenario(protocol, NetworkKind::Wan, n, 0.46, straggler, scale);
                 let point = harness::measure(protocol.label(), f64::from(n), &scenario);
                 harness::print_row(&point);
                 points.push(point);

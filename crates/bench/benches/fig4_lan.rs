@@ -7,7 +7,11 @@ use orthrus_types::{NetworkKind, ProtocolKind};
 fn main() {
     let scale = BenchScale::from_env();
     for straggler in [false, true] {
-        let figure = if straggler { "fig4cd_lan_straggler" } else { "fig4ab_lan_no_straggler" };
+        let figure = if straggler {
+            "fig4cd_lan_straggler"
+        } else {
+            "fig4ab_lan_no_straggler"
+        };
         harness::print_header(
             &format!(
                 "Figure 4{} — LAN, {} straggler(s)",
@@ -19,14 +23,8 @@ fn main() {
         let mut points = Vec::new();
         for &n in &scale.replica_counts() {
             for protocol in ProtocolKind::ALL {
-                let scenario = harness::paper_scenario(
-                    protocol,
-                    NetworkKind::Lan,
-                    n,
-                    0.46,
-                    straggler,
-                    scale,
-                );
+                let scenario =
+                    harness::paper_scenario(protocol, NetworkKind::Lan, n, 0.46, straggler, scale);
                 let point = harness::measure(protocol.label(), f64::from(n), &scenario);
                 harness::print_row(&point);
                 points.push(point);

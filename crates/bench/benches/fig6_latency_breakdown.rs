@@ -11,10 +11,18 @@ fn main() {
     let scale = BenchScale::from_env();
     let replicas = scale.fixed_replicas();
     println!();
-    println!("=== Figure 6 / Figure 1b — latency breakdown, {replicas} replicas WAN, 1 straggler ===");
+    println!(
+        "=== Figure 6 / Figure 1b — latency breakdown, {replicas} replicas WAN, 1 straggler ==="
+    );
     println!(
         "{:<10} {:>10} {:>14} {:>18} {:>17} {:>10} {:>10}",
-        "protocol", "send s", "preprocess s", "partial order s", "global order s", "reply s", "global %"
+        "protocol",
+        "send s",
+        "preprocess s",
+        "partial order s",
+        "global order s",
+        "reply s",
+        "global %"
     );
     let mut csv = String::from(
         "protocol,send_s,preprocess_s,partial_ordering_s,global_ordering_s,reply_s,global_share\n",

@@ -43,14 +43,20 @@ fn main() {
             "\n-- f = {faults}: {} / {} confirmed, {} view changes --",
             outcome.confirmed, outcome.submitted, outcome.view_changes
         );
-        println!("{:>8} {:>16} {:>12}", "time s", "throughput ktps", "latency s");
+        println!(
+            "{:>8} {:>16} {:>12}",
+            "time s", "throughput ktps", "latency s"
+        );
         for (tp, lat) in outcome
             .throughput_series
             .iter()
             .zip(outcome.latency_series.iter())
         {
             println!("{:>8.1} {:>16.3} {:>12.3}", tp.time_s, tp.value, lat.value);
-            csv.push_str(&format!("{},{},{},{}\n", faults, tp.time_s, tp.value, lat.value));
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                faults, tp.time_s, tp.value, lat.value
+            ));
         }
     }
     let path = harness::figure_csv_path("fig7_fault_timeline");

@@ -1,0 +1,153 @@
+//! Message-fabric snapshot: quantifies the zero-copy refactor and records the
+//! result to `BENCH_msgfabric.json` at the repository root.
+//!
+//! Two measurements:
+//!
+//! 1. **Broadcast fan-out microbench** — send one 256-transaction block to 99
+//!    recipients, once by deep-copying the batch per recipient (the old
+//!    `Vec<Transaction>` payload behaviour) and once by cloning the
+//!    `Arc<Block>` handle (the new fabric). A counting global allocator
+//!    reports allocations and bytes for each variant.
+//! 2. **Macro snapshot** — a reduced fig4_lan-style run (Orthrus, LAN, 4
+//!    replicas, 2 000 transactions) recording throughput, latency, bytes on
+//!    the wire and events processed, so later PRs can track the trajectory.
+//!
+//! Run with `cargo bench --bench msgfabric`.
+
+use orthrus_bench::fabric::{self, arc_fanout, deep_clone_fanout, BATCH, RECIPIENTS};
+use orthrus_bench::harness::{self, BenchScale, MeasuredPoint};
+use orthrus_types::{NetworkKind, ProtocolKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A pass-through allocator that counts allocations while enabled.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counters are
+// monotonic atomics with no allocation of their own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` with allocation counting enabled; returns (allocations, bytes).
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, u64) {
+    ALLOC_CALLS.store(0, Ordering::Relaxed);
+    ALLOC_BYTES.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let out = f();
+    COUNTING.store(false, Ordering::Relaxed);
+    std::hint::black_box(out);
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    println!("== message-fabric snapshot ==");
+    let block = fabric::make_fanout_block();
+
+    let (deep_allocs, deep_bytes) = count_allocs(|| deep_clone_fanout(&block));
+    let (arc_allocs, arc_bytes) = count_allocs(|| arc_fanout(&block));
+    println!(
+        "deep-clone fan-out ({RECIPIENTS} recipients x {BATCH} txs): {deep_allocs} allocations, {deep_bytes} bytes"
+    );
+    println!(
+        "arc fan-out        ({RECIPIENTS} recipients x {BATCH} txs): {arc_allocs} allocations, {arc_bytes} bytes"
+    );
+
+    let timings = fabric::run_fabric_benches(&block);
+    let (deep, arc) = (&timings.deep, &timings.arc);
+    let (cached, uncached) = (&timings.cached, &timings.uncached);
+
+    // Macro snapshot: reduced fig4_lan-style scenario.
+    println!();
+    println!("running fig4_lan-style macro snapshot (Orthrus, LAN, reduced scale) ...");
+    let scenario = harness::paper_scenario(
+        ProtocolKind::Orthrus,
+        NetworkKind::Lan,
+        4,
+        0.46,
+        false,
+        BenchScale::Reduced,
+    );
+    let wall = std::time::Instant::now();
+    let outcome = orthrus_core::run_scenario(&scenario);
+    let wall_s = wall.elapsed().as_secs_f64();
+    let point = MeasuredPoint::from_outcome("Orthrus", 4.0, &outcome);
+    harness::print_header("fig4_lan snapshot", "replicas");
+    harness::print_row(&point);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"msgfabric\",\n",
+            "  \"fanout\": {{\n",
+            "    \"recipients\": {},\n",
+            "    \"batch_txs\": {},\n",
+            "    \"deep_clone\": {{\"allocations\": {}, \"bytes\": {}, \"median_ns\": {:.1}}},\n",
+            "    \"arc\": {{\"allocations\": {}, \"bytes\": {}, \"median_ns\": {:.1}}},\n",
+            "    \"alloc_reduction\": {:.4},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"digest\": {{\n",
+            "    \"cached_median_ns\": {:.1},\n",
+            "    \"uncached_median_ns\": {:.1}\n",
+            "  }},\n",
+            "  \"fig4_lan_snapshot\": {{\n",
+            "    \"scenario\": \"orthrus_lan_4replicas_reduced\",\n",
+            "    \"point\": {},\n",
+            "    \"wall_clock_s\": {:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        RECIPIENTS,
+        BATCH,
+        deep_allocs,
+        deep_bytes,
+        deep.median_ns,
+        arc_allocs,
+        arc_bytes,
+        arc.median_ns,
+        if deep_allocs == 0 {
+            0.0
+        } else {
+            1.0 - arc_allocs as f64 / deep_allocs as f64
+        },
+        if arc.median_ns == 0.0 {
+            0.0
+        } else {
+            deep.median_ns / arc.median_ns
+        },
+        cached.median_ns,
+        uncached.median_ns,
+        point.to_json(),
+        wall_s,
+    );
+    // Cargo runs benches with the package directory as cwd; the snapshot
+    // belongs at the workspace root next to ROADMAP.md.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_msgfabric.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nsnapshot written to {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+}

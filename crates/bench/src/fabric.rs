@@ -1,0 +1,106 @@
+//! Shared message-fabric micro-benchmark workloads.
+//!
+//! The broadcast fan-out and digest-memoization measurements are reported by
+//! two binaries — `benches/micro.rs` (console) and `benches/msgfabric.rs`
+//! (JSON snapshot with allocation counts) — so the single implementation
+//! lives here: both run the same code and emit the same bench names.
+
+use crate::timing::{bench, BenchResult};
+use orthrus_types::{
+    Block, BlockParams, ClientId, Epoch, InstanceId, Rank, ReplicaId, SeqNum, SharedBlock,
+    SystemState, Transaction, TxId, View,
+};
+use std::sync::Arc;
+
+/// Recipients in the fan-out benches (a 100-replica deployment's broadcast).
+pub const RECIPIENTS: usize = 99;
+
+/// Transactions per block in the fan-out benches.
+pub const BATCH: usize = 256;
+
+/// Build the shared block the fan-out benches broadcast.
+pub fn make_fanout_block() -> SharedBlock {
+    let batch: Vec<Transaction> = (0..BATCH)
+        .map(|i| {
+            Transaction::payment(
+                TxId::new(ClientId::new(i as u64), 0),
+                ClientId::new(i as u64),
+                ClientId::new(i as u64 + 1),
+                1,
+            )
+        })
+        .collect();
+    Arc::new(Block::new(
+        BlockParams {
+            instance: InstanceId::new(0),
+            sn: SeqNum::new(0),
+            epoch: Epoch::new(0),
+            view: View::new(0),
+            proposer: ReplicaId::new(0),
+            rank: Rank::new(1),
+            state: SystemState::new(4),
+        },
+        batch,
+    ))
+}
+
+/// The old fabric's cost: one deep copy of the batch per recipient (what a
+/// `Vec<Transaction>` payload paid on every `msg.clone()`).
+pub fn deep_clone_fanout(block: &SharedBlock) -> Vec<Vec<Transaction>> {
+    (0..RECIPIENTS)
+        .map(|_| block.txs.iter().map(|tx| (**tx).clone()).collect())
+        .collect()
+}
+
+/// The zero-copy fabric's cost: one reference-count bump per recipient.
+pub fn arc_fanout(block: &SharedBlock) -> Vec<SharedBlock> {
+    (0..RECIPIENTS).map(|_| Arc::clone(block)).collect()
+}
+
+/// Timing results of the fan-out and digest benches.
+pub struct FabricBenchResults {
+    /// Deep-copy fan-out (the pre-refactor behaviour).
+    pub deep: BenchResult,
+    /// `Arc` fan-out (the zero-copy fabric).
+    pub arc: BenchResult,
+    /// Memoized header digest (hot path).
+    pub cached: BenchResult,
+    /// Recomputed header digest (verification path).
+    pub uncached: BenchResult,
+}
+
+/// Run the fan-out and digest benches against one shared block.
+pub fn run_fabric_benches(block: &SharedBlock) -> FabricBenchResults {
+    let deep = bench("fanout_deep_clone_99x256tx", 10, || {
+        deep_clone_fanout(block)
+    });
+    let arc = bench("fanout_arc_99x256tx", 10, || arc_fanout(block));
+    let _ = block.digest(); // prime the memo
+    let cached = bench("header_digest_cached", 10, || block.digest());
+    let uncached = bench("header_digest_uncached", 10, || {
+        block.header.compute_digest()
+    });
+    FabricBenchResults {
+        deep,
+        arc,
+        cached,
+        uncached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_shapes() {
+        let block = make_fanout_block();
+        assert_eq!(block.txs.len(), BATCH);
+        let deep = deep_clone_fanout(&block);
+        assert_eq!(deep.len(), RECIPIENTS);
+        assert_eq!(deep[0].len(), BATCH);
+        let arc = arc_fanout(&block);
+        assert_eq!(arc.len(), RECIPIENTS);
+        assert!(arc.iter().all(|b| Arc::ptr_eq(b, &block)));
+    }
+}

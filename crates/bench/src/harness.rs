@@ -1,9 +1,10 @@
 //! Shared machinery for the figure-reproduction benches.
 
-use orthrus_core::{run_scenario, Scenario};
+use orthrus_core::{run_scenario, Scenario, ScenarioOutcome};
 use orthrus_sim::FaultPlan;
 use orthrus_types::{Duration, NetworkKind, ProtocolKind, ReplicaId};
 use orthrus_workload::WorkloadConfig;
+use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
@@ -76,6 +77,10 @@ pub fn replica_counts() -> Vec<u32> {
 }
 
 /// One measured point of a figure series.
+///
+/// Carries enough raw counters that downstream tooling can track the perf
+/// trajectory across PRs without re-running the scenario (see
+/// [`write_json`]).
 #[derive(Debug, Clone)]
 pub struct MeasuredPoint {
     /// Protocol label (matches the paper's legends).
@@ -86,6 +91,55 @@ pub struct MeasuredPoint {
     pub throughput_ktps: f64,
     /// Average latency in seconds.
     pub latency_s: f64,
+    /// 99th-percentile latency in seconds.
+    pub p99_latency_s: f64,
+    /// Transactions confirmed / submitted.
+    pub confirmed: usize,
+    /// Transactions submitted.
+    pub submitted: usize,
+    /// Protocol bytes sent over the simulated network.
+    pub bytes_sent: u64,
+    /// Simulation events dispatched.
+    pub events_processed: u64,
+}
+
+impl MeasuredPoint {
+    /// Build a point from a finished scenario outcome.
+    pub fn from_outcome(label: &str, x: f64, outcome: &ScenarioOutcome) -> Self {
+        Self {
+            protocol: label.to_string(),
+            x,
+            throughput_ktps: outcome.throughput_ktps,
+            latency_s: outcome.avg_latency.as_secs_f64(),
+            p99_latency_s: outcome.p99_latency.as_secs_f64(),
+            confirmed: outcome.confirmed,
+            submitted: outcome.submitted,
+            bytes_sent: outcome.report.bytes_sent,
+            events_processed: outcome.report.events_processed,
+        }
+    }
+
+    /// Serialize the point as one JSON object (hand-rolled; the workspace
+    /// builds without serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"protocol\":\"{}\",\"x\":{},\"throughput_ktps\":{:.6},",
+                "\"avg_latency_s\":{:.6},\"p99_latency_s\":{:.6},",
+                "\"confirmed\":{},\"submitted\":{},",
+                "\"bytes_sent\":{},\"events_processed\":{}}}"
+            ),
+            self.protocol,
+            self.x,
+            self.throughput_ktps,
+            self.latency_s,
+            self.p99_latency_s,
+            self.confirmed,
+            self.submitted,
+            self.bytes_sent,
+            self.events_processed,
+        )
+    }
 }
 
 /// Build the scenario shared by the figure benches.
@@ -122,12 +176,7 @@ pub fn paper_scenario(
 /// Run one scenario and convert the outcome into a measured point.
 pub fn measure(label: &str, x: f64, scenario: &Scenario) -> MeasuredPoint {
     let outcome = run_scenario(scenario);
-    MeasuredPoint {
-        protocol: label.to_string(),
-        x,
-        throughput_ktps: outcome.throughput_ktps,
-        latency_s: outcome.avg_latency.as_secs_f64(),
-    }
+    MeasuredPoint::from_outcome(label, x, &outcome)
 }
 
 /// Print the header of a figure table.
@@ -148,14 +197,21 @@ pub fn print_row(point: &MeasuredPoint) {
     );
 }
 
-/// Location of the CSV output for a figure.
+/// Location of the CSV output for a figure. Anchored at the workspace root's
+/// `target/figures/` regardless of the bench binary's working directory
+/// (cargo runs benches with the package directory as cwd).
 pub fn figure_csv_path(figure: &str) -> PathBuf {
-    let dir = PathBuf::from("target").join("figures");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+        .join("figures");
     let _ = fs::create_dir_all(&dir);
     dir.join(format!("{figure}.csv"))
 }
 
-/// Write the measured series of a figure to `target/figures/<figure>.csv`.
+/// Write the measured series of a figure to `target/figures/<figure>.csv`,
+/// plus a machine-readable JSON twin at `target/figures/<figure>.json` so
+/// future PRs can diff the perf trajectory.
 pub fn write_csv(figure: &str, x_label: &str, points: &[MeasuredPoint]) {
     let mut csv = format!("protocol,{x_label},throughput_ktps,latency_s\n");
     for p in points {
@@ -169,6 +225,35 @@ pub fn write_csv(figure: &str, x_label: &str, points: &[MeasuredPoint]) {
         eprintln!("warning: could not write {}: {err}", path.display());
     } else {
         println!("(series written to {})", path.display());
+    }
+    write_json(figure, x_label, points);
+}
+
+/// Location of the JSON output for a figure.
+pub fn figure_json_path(figure: &str) -> PathBuf {
+    figure_csv_path(figure).with_extension("json")
+}
+
+/// Serialize a measured series as a JSON document.
+pub fn series_json(figure: &str, x_label: &str, points: &[MeasuredPoint]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"figure\": \"{figure}\",\n  \"x_label\": \"{x_label}\",\n  \"points\": ["
+    );
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    {}", p.to_json());
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Write the measured series of a figure to `target/figures/<figure>.json`.
+pub fn write_json(figure: &str, x_label: &str, points: &[MeasuredPoint]) {
+    let path = figure_json_path(figure);
+    if let Err(err) = fs::write(&path, series_json(figure, x_label, points)) {
+        eprintln!("warning: could not write {}: {err}", path.display());
     }
 }
 
@@ -213,5 +298,38 @@ mod tests {
     fn csv_path_is_under_target() {
         let path = figure_csv_path("fig_test");
         assert!(path.to_string_lossy().contains("figures"));
+        assert_eq!(figure_json_path("fig_test").extension().unwrap(), "json");
+    }
+
+    #[test]
+    fn series_json_is_well_formed() {
+        let point = MeasuredPoint {
+            protocol: "Orthrus".into(),
+            x: 8.0,
+            throughput_ktps: 1.25,
+            latency_s: 0.5,
+            p99_latency_s: 0.9,
+            confirmed: 2_000,
+            submitted: 2_000,
+            bytes_sent: 123_456,
+            events_processed: 789,
+        };
+        let doc = series_json("fig_test", "replicas", &[point.clone(), point]);
+        // Structural sanity without a JSON parser: balanced braces/brackets,
+        // the expected keys, and exactly two point objects.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert_eq!(doc.matches("\"protocol\":\"Orthrus\"").count(), 2);
+        for key in [
+            "\"figure\"",
+            "\"x_label\"",
+            "\"points\"",
+            "\"throughput_ktps\"",
+            "\"p99_latency_s\"",
+            "\"bytes_sent\"",
+            "\"events_processed\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
     }
 }

@@ -19,9 +19,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod harness;
+pub mod timing;
+
+pub use timing::{bench, BenchResult};
 
 pub use harness::{
-    figure_csv_path, measure, print_header, print_row, replica_counts, write_csv, BenchScale,
-    MeasuredPoint,
+    figure_csv_path, figure_json_path, measure, print_header, print_row, replica_counts,
+    series_json, write_csv, write_json, BenchScale, MeasuredPoint,
 };

@@ -1,0 +1,82 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline without external crates, so the benches that
+//! previously used `criterion` run through this module instead: adaptive
+//! iteration counts, median-of-samples reporting, and a machine-readable
+//! line format that `BENCH_msgfabric.json` and future trend tooling can
+//! consume.
+
+use std::time::{Duration, Instant};
+
+/// Result of one micro-benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Name of the benchmark.
+    pub name: String,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Minimum nanoseconds per iteration across samples.
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    /// Render the result as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"median_ns\":{:.1},\"min_ns\":{:.1}}}",
+            self.name, self.iters_per_sample, self.median_ns, self.min_ns
+        )
+    }
+}
+
+/// Time `f`, choosing an iteration count so each sample runs ≈50 ms, and
+/// report the median over `samples` samples. The closure's return value is
+/// passed through `std::hint::black_box` so the optimizer cannot delete the
+/// measured work.
+pub fn bench<T, F: FnMut() -> T>(name: &str, samples: u32, mut f: F) -> BenchResult {
+    // Warm-up and calibration: find how long one iteration takes.
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let one = start.elapsed().max(Duration::from_nanos(20));
+    let target = Duration::from_millis(50);
+    let iters = (target.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        per_iter.push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let result = BenchResult {
+        name: name.to_string(),
+        iters_per_sample: iters,
+        median_ns: median,
+        min_ns: min,
+    };
+    println!(
+        "{:<44} {:>12.1} ns/iter (median, {} iters x {} samples)",
+        result.name, result.median_ns, iters, samples
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let r = bench("noop_sum", 3, || (0..100u64).sum::<u64>());
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.to_json().contains("noop_sum"));
+    }
+}

@@ -10,9 +10,10 @@
 
 use crate::messages::NetMessage;
 use orthrus_sim::{Actor, Context, NodeId};
-use orthrus_types::{Duration, ProtocolConfig, ReplicaId, Transaction, TxId};
+use orthrus_types::{Duration, ProtocolConfig, ReplicaId, SharedTx, TxId};
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Timer tag used for scheduled submissions.
 const TIMER_SUBMIT: u64 = 1;
@@ -21,8 +22,9 @@ const TIMER_SUBMIT: u64 = 1;
 pub struct ClientNode {
     config: ProtocolConfig,
     /// Submission schedule: (offset from simulation start, transaction),
-    /// sorted by offset.
-    schedule: Vec<(Duration, Transaction)>,
+    /// sorted by offset. Entries are shared handles, so submitting to `f + 1`
+    /// replicas clones a pointer per target, not a payload.
+    schedule: Vec<(Duration, SharedTx)>,
     next: usize,
     replies: HashMap<TxId, HashSet<ReplicaId>>,
     confirmed: HashSet<TxId>,
@@ -31,7 +33,7 @@ pub struct ClientNode {
 impl ClientNode {
     /// Build a client with a submission schedule (offset, transaction). The
     /// schedule is sorted by offset internally.
-    pub fn new(config: ProtocolConfig, mut schedule: Vec<(Duration, Transaction)>) -> Self {
+    pub fn new(config: ProtocolConfig, mut schedule: Vec<(Duration, SharedTx)>) -> Self {
         schedule.sort_by_key(|(offset, _)| *offset);
         Self {
             config,
@@ -72,12 +74,11 @@ impl ClientNode {
             if orthrus_types::SimTime::ZERO + *offset > now {
                 break;
             }
-            let (_, tx) = self.schedule[self.next].clone();
+            let tx = Arc::clone(&self.schedule[self.next].1);
             self.next += 1;
             ctx.stats().tx_submitted(tx.id, now);
-            for target in self.targets_for(&tx.id) {
-                ctx.send(target, NetMessage::ClientRequest { tx: tx.clone() });
-            }
+            let targets = self.targets_for(&tx.id);
+            ctx.multicast(targets, NetMessage::ClientRequest { tx });
         }
         if self.next < self.schedule.len() {
             let (offset, _) = self.schedule[self.next];
@@ -131,13 +132,14 @@ mod tests {
     use super::*;
     use orthrus_types::ClientId;
 
-    fn tx(seq: u64) -> Transaction {
-        Transaction::payment(
+    fn tx(seq: u64) -> SharedTx {
+        orthrus_types::Transaction::payment(
             TxId::new(ClientId::new(7), seq),
             ClientId::new(7),
             ClientId::new(8),
             1,
         )
+        .into_shared()
     }
 
     #[test]
@@ -176,6 +178,9 @@ mod tests {
             let targets = client.targets_for(&TxId::new(ClientId::new(i), 0));
             firsts.insert(targets[0]);
         }
-        assert!(firsts.len() > 3, "client traffic should spread over replicas");
+        assert!(
+            firsts.len() > 3,
+            "client traffic should spread over replicas"
+        );
     }
 }

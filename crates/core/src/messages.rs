@@ -3,7 +3,7 @@
 use orthrus_execution::TxOutcome;
 use orthrus_sb::SbMessage;
 use orthrus_sim::Payload;
-use orthrus_types::{InstanceId, ReplicaId, Transaction, TxId};
+use orthrus_types::{InstanceId, ReplicaId, SharedTx, TxId};
 
 /// Outcome reported back to the client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,8 +30,10 @@ pub enum NetMessage {
     /// transaction to at least `f + 1` replicas (paper §V-B, censorship
     /// resistance).
     ClientRequest {
-        /// The submitted transaction.
-        tx: Transaction,
+        /// The submitted transaction (shared handle). Broadcasting the
+        /// request to `f + 1` replicas and relaying it to instance leaders
+        /// clones the handle, never the payload.
+        tx: SharedTx,
     },
     /// Replica → replica: a PBFT message of one SB instance.
     Consensus {
@@ -64,7 +66,7 @@ impl Payload for NetMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orthrus_types::ClientId;
+    use orthrus_types::{ClientId, Transaction};
 
     #[test]
     fn wire_sizes() {
@@ -73,7 +75,8 @@ mod tests {
             ClientId::new(1),
             ClientId::new(2),
             5,
-        );
+        )
+        .into_shared();
         let request = NetMessage::ClientRequest { tx };
         assert_eq!(request.wire_bytes(), 500 + 64);
         let reply = NetMessage::ClientReply {
@@ -86,7 +89,10 @@ mod tests {
 
     #[test]
     fn reply_status_from_outcome() {
-        assert_eq!(ReplyStatus::from(TxOutcome::Committed), ReplyStatus::Committed);
+        assert_eq!(
+            ReplyStatus::from(TxOutcome::Committed),
+            ReplyStatus::Committed
+        );
         assert_eq!(ReplyStatus::from(TxOutcome::Aborted), ReplyStatus::Aborted);
     }
 }

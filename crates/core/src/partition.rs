@@ -7,7 +7,7 @@
 //! instance — which is what prevents double spending without global
 //! ordering.
 
-use orthrus_types::{Digest, InstanceId, ObjectKey, Transaction, TxId};
+use orthrus_types::{Digest, InstanceId, ObjectKey, SharedTx, Transaction, TxId};
 use std::collections::{HashSet, VecDeque};
 
 /// The deterministic object → instance assignment function.
@@ -58,7 +58,7 @@ impl Partitioner {
 /// that a new leader (after a view change) does not re-propose them.
 #[derive(Debug, Clone, Default)]
 pub struct Bucket {
-    queue: VecDeque<Transaction>,
+    queue: VecDeque<SharedTx>,
     known: HashSet<TxId>,
     delivered: HashSet<TxId>,
 }
@@ -80,8 +80,10 @@ impl Bucket {
     }
 
     /// Push a transaction unless it is already known (pending or delivered).
-    /// Returns whether it was added.
-    pub fn push(&mut self, tx: Transaction) -> bool {
+    /// Returns whether it was added. The bucket stores the shared handle the
+    /// request arrived in — a multi-payer transaction queued in several
+    /// buckets still exists once in memory.
+    pub fn push(&mut self, tx: SharedTx) -> bool {
         if self.known.contains(&tx.id) || self.delivered.contains(&tx.id) {
             return false;
         }
@@ -97,7 +99,7 @@ impl Bucket {
         &mut self,
         max: usize,
         mut valid: F,
-    ) -> Vec<Transaction> {
+    ) -> Vec<SharedTx> {
         let mut pulled = Vec::new();
         let mut skipped = VecDeque::new();
         while pulled.len() < max {
@@ -139,13 +141,14 @@ mod tests {
     use super::*;
     use orthrus_types::{ClientId, ObjectOp};
 
-    fn tx(client: u64, seq: u64) -> Transaction {
+    fn tx(client: u64, seq: u64) -> SharedTx {
         Transaction::payment(
             TxId::new(ClientId::new(client), seq),
             ClientId::new(client),
             ClientId::new(client + 1),
             1,
         )
+        .into_shared()
     }
 
     #[test]
@@ -177,10 +180,7 @@ mod tests {
         // Find two clients that land in different buckets.
         let (a, b) = (0..100u64)
             .flat_map(|x| (0..100u64).map(move |y| (x, y)))
-            .find(|(x, y)| {
-                x != y
-                    && p.assign(ObjectKey::new(*x)) != p.assign(ObjectKey::new(*y))
-            })
+            .find(|(x, y)| x != y && p.assign(ObjectKey::new(*x)) != p.assign(ObjectKey::new(*y)))
             .unwrap();
         let tx = Transaction::multi_payment(
             TxId::new(ClientId::new(a), 0),

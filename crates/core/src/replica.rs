@@ -18,11 +18,12 @@ use orthrus_ordering::{
 use orthrus_sb::{PbftConfig, PbftInstance, ProgressTracker, SbAction};
 use orthrus_sim::{Actor, Context, LatencyStage, NodeId};
 use orthrus_types::{
-    Block, BlockParams, Epoch, InstanceId, ProtocolConfig, ProtocolKind, ReplicaId,
-    SystemState, Transaction, TxId,
+    Block, BlockParams, Epoch, InstanceId, ProtocolConfig, ProtocolKind, ReplicaId, SharedBlock,
+    SharedTx, SystemState, TxId,
 };
 use std::any::Any;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Timer tag: leader batch timer (try to propose in every instance we lead).
 const TIMER_BATCH: u64 = 1;
@@ -51,7 +52,7 @@ impl Policy {
         }
     }
 
-    fn on_deliver(&mut self, block: Block) -> Vec<Block> {
+    fn on_deliver(&mut self, block: SharedBlock) -> Vec<SharedBlock> {
         match self {
             Policy::Predetermined(p) => p.on_deliver(block),
             Policy::Dqbft(p) => p.on_deliver(block),
@@ -59,7 +60,7 @@ impl Policy {
         }
     }
 
-    fn on_order_decision(&mut self, id: orthrus_types::BlockId) -> Vec<Block> {
+    fn on_order_decision(&mut self, id: orthrus_types::BlockId) -> Vec<SharedBlock> {
         match self {
             Policy::Predetermined(p) => p.on_order_decision(id),
             Policy::Dqbft(p) => p.on_order_decision(id),
@@ -113,7 +114,11 @@ impl ReplicaNode {
         genesis: ObjectStore,
     ) -> Self {
         let m = config.num_instances;
-        let total_instances = if protocol == ProtocolKind::Dqbft { m + 1 } else { m };
+        let total_instances = if protocol == ProtocolKind::Dqbft {
+            m + 1
+        } else {
+            m
+        };
         let instances = (0..total_instances)
             .map(|i| {
                 PbftInstance::new(PbftConfig {
@@ -251,14 +256,16 @@ impl ReplicaNode {
                     // still pending in this bucket: the old leader may have
                     // been the only replica the client contacted.
                     if leader != self.me && !self.is_ordering_instance(instance) {
-                        let pending: Vec<Transaction> = self.buckets[instance.as_usize()]
-                            .pull(usize::MAX, |_| true);
+                        let pending: Vec<SharedTx> =
+                            self.buckets[instance.as_usize()].pull(usize::MAX, |_| true);
                         for tx in pending {
                             ctx.send(
                                 NodeId::Replica(leader),
-                                NetMessage::ClientRequest { tx: tx.clone() },
+                                NetMessage::ClientRequest {
+                                    tx: Arc::clone(&tx),
+                                },
                             );
-                            // Keep a local copy so censorship by the new
+                            // Keep a local reference so censorship by the new
                             // leader can still be detected.
                             self.buckets[instance.as_usize()].push(tx);
                         }
@@ -278,7 +285,8 @@ impl ReplicaNode {
             return;
         }
         let now = ctx.now();
-        ctx.stats().stage_reached(tx, LatencyStage::GlobalOrdering, now);
+        ctx.stats()
+            .stage_reached(tx, LatencyStage::GlobalOrdering, now);
         ctx.send(
             NodeId::Client(self.config.client_actor_of(tx.client)),
             NetMessage::ClientReply {
@@ -296,7 +304,7 @@ impl ReplicaNode {
     fn on_block_delivered(
         &mut self,
         instance: InstanceId,
-        block: Block,
+        block: SharedBlock,
         ctx: &mut Context<'_, NetMessage>,
     ) {
         self.delivered_blocks += 1;
@@ -319,14 +327,16 @@ impl ReplicaNode {
         for tx in &block.txs {
             self.buckets[instance.as_usize()].mark_delivered(tx.id);
             let now = ctx.now();
-            ctx.stats().stage_reached(tx.id, LatencyStage::PartialOrdering, now);
+            ctx.stats()
+                .stage_reached(tx.id, LatencyStage::PartialOrdering, now);
         }
         if !self.buckets[instance.as_usize()].has_pending() {
             self.progress.clear_expectation(instance);
         }
 
-        // Ordering module: partial log + global ordering policy.
-        self.plogs.get_mut(instance).insert(block.clone());
+        // Ordering module: partial log + global ordering policy. Both paths
+        // share the delivered block's handle — no payload copies.
+        self.plogs.get_mut(instance).insert(Arc::clone(&block));
         if self.protocol == ProtocolKind::Dqbft {
             let ordering_leader = self.config.num_instances % self.config.num_replicas;
             if self.me == ReplicaId::new(ordering_leader) {
@@ -378,9 +388,8 @@ impl ReplicaNode {
                         .map(|tx| {
                             (
                                 tx.id,
-                                self.executor.process_plog_tx(tx, instance, &|key| {
-                                    assign.assign(key)
-                                }),
+                                self.executor
+                                    .process_plog_tx(tx, instance, &|key| assign.assign(key)),
                             )
                         })
                         .collect();
@@ -404,7 +413,7 @@ impl ReplicaNode {
     /// rule.
     fn handle_globally_confirmed(
         &mut self,
-        confirmed: Vec<Block>,
+        confirmed: Vec<SharedBlock>,
         ctx: &mut Context<'_, NetMessage>,
     ) {
         for block in confirmed {
@@ -444,8 +453,7 @@ impl ReplicaNode {
                     ProtocolKind::Orthrus => {
                         // Only contract transactions still need the global
                         // log; payments were confirmed on the fast path.
-                        self.executor
-                            .process_glog_tx(tx, &|key| assign.assign(key))
+                        self.executor.process_glog_tx(tx, &|key| assign.assign(key))
                     }
                     _ => Some(self.executor.process_sequential_tx(tx)),
                 };
@@ -481,9 +489,8 @@ impl ReplicaNode {
             return;
         }
         let executor = &self.executor;
-        let txs = self.buckets[idx].pull(self.config.batch_size, |tx| {
-            executor.speculative_valid(tx)
-        });
+        let txs =
+            self.buckets[idx].pull(self.config.batch_size, |tx| executor.speculative_valid(tx));
         // When the bucket is empty but other instances have delivered blocks
         // that cannot be globally confirmed yet (a gap in the pre-determined
         // interleaving, or a stalled Ladon bar), fill our slot with a no-op
@@ -501,15 +508,18 @@ impl ReplicaNode {
             rank: self.rank.next_rank(),
             state: self.delivered_state(),
         };
-        let block = if txs.is_empty() {
+        let block = Arc::new(if txs.is_empty() {
             Block::no_op(params)
         } else {
             for tx in &txs {
                 let now = ctx.now();
-                ctx.stats().stage_reached(tx.id, LatencyStage::Preprocess, now);
+                ctx.stats()
+                    .stage_reached(tx.id, LatencyStage::Preprocess, now);
             }
-            Block::new(params, txs)
-        };
+            // The batch is assembled from the bucket's shared handles; the
+            // only allocation here is the block itself.
+            Block::from_shared(params, txs)
+        });
         let actions = self.instances[idx].propose(block, ctx.now());
         self.progress.record_expectation(instance, ctx.now());
         self.apply_sb_actions(instance, actions, ctx);
@@ -541,7 +551,7 @@ impl ReplicaNode {
             rank: self.rank.next_rank(),
             state: self.delivered_state(),
         };
-        let block = Block::ordering(params, ids);
+        let block = Arc::new(Block::ordering(params, ids));
         let actions = self.instances[idx].propose(block, ctx.now());
         self.apply_sb_actions(instance, actions, ctx);
     }
@@ -550,12 +560,7 @@ impl ReplicaNode {
     // Inbound handlers
     // ------------------------------------------------------------------
 
-    fn on_client_request(
-        &mut self,
-        from: NodeId,
-        tx: Transaction,
-        ctx: &mut Context<'_, NetMessage>,
-    ) {
+    fn on_client_request(&mut self, from: NodeId, tx: SharedTx, ctx: &mut Context<'_, NetMessage>) {
         if tx.validate().is_err() {
             return;
         }
@@ -566,7 +571,7 @@ impl ReplicaNode {
         ctx.stats().stage_reached(tx.id, LatencyStage::Send, now);
         let forward = !from.is_replica();
         for instance in self.partitioner.instances_of(&tx) {
-            if self.buckets[instance.as_usize()].push(tx.clone()) {
+            if self.buckets[instance.as_usize()].push(Arc::clone(&tx)) {
                 self.progress.record_expectation(instance, ctx.now());
             }
             // Clients only contact f + 1 replicas (censorship resistance,
@@ -579,7 +584,9 @@ impl ReplicaNode {
                 if leader != self.me {
                     ctx.send(
                         NodeId::Replica(leader),
-                        NetMessage::ClientRequest { tx: tx.clone() },
+                        NetMessage::ClientRequest {
+                            tx: Arc::clone(&tx),
+                        },
                     );
                 }
             }
@@ -687,7 +694,11 @@ mod tests {
             let config = ProtocolConfig::for_replicas(4);
             let node = ReplicaNode::new(ReplicaId::new(0), protocol, config.clone(), genesis());
             assert_eq!(node.protocol(), protocol);
-            let expected_instances = if protocol == ProtocolKind::Dqbft { 5 } else { 4 };
+            let expected_instances = if protocol == ProtocolKind::Dqbft {
+                5
+            } else {
+                4
+            };
             assert_eq!(node.instances.len(), expected_instances);
             assert_eq!(node.buckets.len(), 4);
             assert_eq!(node.confirmed_transactions(), 0);

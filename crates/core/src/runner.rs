@@ -11,11 +11,14 @@ use crate::messages::NetMessage;
 use crate::replica::ReplicaNode;
 use orthrus_execution::ObjectStore;
 use orthrus_sim::stats::LatencyBreakdown;
-use orthrus_sim::{FaultPlan, NetworkConfig, NodeId, Simulation, SimulationReport, ThroughputPoint};
+use orthrus_sim::{
+    FaultPlan, NetworkConfig, NodeId, Simulation, SimulationReport, ThroughputPoint,
+};
 use orthrus_types::{
-    Digest, Duration, NetworkKind, ProtocolConfig, ProtocolKind, ReplicaId, SimTime,
+    Digest, Duration, NetworkKind, ProtocolConfig, ProtocolKind, ReplicaId, SharedTx, SimTime,
 };
 use orthrus_workload::{Workload, WorkloadConfig};
+use std::sync::Arc;
 
 /// A declarative description of one simulation run.
 #[derive(Debug, Clone)]
@@ -72,10 +75,7 @@ impl Scenario {
     /// Add the paper's standard straggler: the leader of instance 0 is 10×
     /// slower than everyone else.
     pub fn with_straggler(mut self) -> Self {
-        self.faults = self
-            .faults
-            .clone()
-            .with_straggler(ReplicaId::new(0), 10.0);
+        self.faults = self.faults.clone().with_straggler(ReplicaId::new(0), 10.0);
         self
     }
 
@@ -108,6 +108,8 @@ pub struct ScenarioOutcome {
     pub avg_latency: Duration,
     /// 95th-percentile end-to-end latency.
     pub p95_latency: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Duration,
     /// Average per-stage latency breakdown (Fig. 6).
     pub breakdown: LatencyBreakdown,
     /// Throughput over time in 0.5 s buckets (Fig. 7a).
@@ -154,12 +156,8 @@ pub fn build_simulation(scenario: &Scenario) -> (Simulation<NetMessage>, usize) 
 
     for r in 0..config.num_replicas {
         let replica = ReplicaId::new(r);
-        let mut node = ReplicaNode::new(
-            replica,
-            scenario.protocol,
-            config.clone(),
-            genesis.clone(),
-        );
+        let mut node =
+            ReplicaNode::new(replica, scenario.protocol, config.clone(), genesis.clone());
         if scenario.faults.is_selfish(replica) {
             node.set_selfish(true);
         }
@@ -170,12 +168,12 @@ pub fn build_simulation(scenario: &Scenario) -> (Simulation<NetMessage>, usize) 
     // times uniformly over the submission window.
     let total = workload.transactions.len().max(1);
     let window_us = scenario.submission_window.as_micros();
-    let mut schedules: Vec<Vec<(Duration, orthrus_types::Transaction)>> =
+    let mut schedules: Vec<Vec<(Duration, SharedTx)>> =
         (0..num_clients).map(|_| Vec::new()).collect();
     for (idx, tx) in workload.transactions.iter().enumerate() {
         let offset = Duration::from_micros(window_us * idx as u64 / total as u64);
         let actor = config.client_actor_of(tx.id.client).value() as usize;
-        schedules[actor].push((offset, tx.clone()));
+        schedules[actor].push((offset, Arc::clone(tx)));
     }
     for (c, schedule) in schedules.into_iter().enumerate() {
         let client = ClientNode::new(config.clone(), schedule);
@@ -193,16 +191,53 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
 
     // Run in one-second slices so we can stop as soon as every transaction is
     // confirmed rather than simulating idle batch timers forever.
+    let mut last_report = orthrus_sim::SimulationReport {
+        end_time: SimTime::ZERO,
+        events_processed: 0,
+        messages_sent: 0,
+        bytes_sent: 0,
+    };
     loop {
         let now = sim.now();
         if now >= deadline {
             break;
         }
         let slice_end = (now + Duration::from_secs(1)).min(deadline);
-        sim.run_until(slice_end);
+        last_report = sim.run_until(slice_end);
         if sim.stats().confirmed_count() >= submitted && submitted > 0 {
             break;
         }
+    }
+
+    // Clients confirm on `f + 1` replies, so the loop above can stop while
+    // slow-but-honest replicas (e.g. a 10x straggler) still hold in-flight
+    // blocks. Drain in short slices until every cooperative replica has
+    // executed the same prefix, so the state-digest snapshot below reflects
+    // the safety invariant (Theorem 1) rather than a mid-flight race.
+    // Crashed and selfish replicas are excluded: they stop processing by
+    // design and would never catch up.
+    let cooperative: Vec<ReplicaId> = (0..scenario.config.num_replicas)
+        .map(ReplicaId::new)
+        .filter(|r| {
+            !scenario.faults.is_selfish(*r)
+                && !scenario
+                    .faults
+                    .is_crashed(*r, SimTime::ZERO + scenario.max_sim_time)
+        })
+        .collect();
+    let digests_agree = |sim: &Simulation<NetMessage>| {
+        let mut digests = cooperative.iter().filter_map(|r| {
+            sim.actor_as::<ReplicaNode>(NodeId::Replica(*r))
+                .map(|node| node.executor().state_digest())
+        });
+        match digests.next() {
+            Some(first) => digests.all(|d| d == first),
+            None => true,
+        }
+    };
+    while sim.now() < deadline && !digests_agree(&sim) {
+        let slice_end = (sim.now() + Duration::from_millis(250)).min(deadline);
+        last_report = sim.run_until(slice_end);
     }
 
     let stats = sim.stats();
@@ -222,6 +257,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         throughput_ktps: stats.throughput_ktps(),
         avg_latency: stats.average_latency(),
         p95_latency: stats.latency_percentile(0.95),
+        p99_latency: stats.latency_percentile(0.99),
         breakdown: stats.latency_breakdown(),
         throughput_series: stats.throughput_timeseries(bucket),
         latency_series: stats.latency_timeseries(bucket),
@@ -230,7 +266,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         state_digests,
         report: orthrus_sim::SimulationReport {
             end_time: sim.now(),
-            events_processed: 0,
+            events_processed: last_report.events_processed,
             messages_sent: stats.messages_sent,
             bytes_sent: stats.bytes_sent,
         },

@@ -207,7 +207,7 @@ impl Executor {
         }
         // Count occurrences: a contract transaction appears once per distinct
         // instance among its payers (Algorithm 1 lines 34, 40–41).
-        let mut instances: Vec<InstanceId> = tx.payers().map(|key| assign(key)).collect();
+        let mut instances: Vec<InstanceId> = tx.payers().map(assign).collect();
         instances.sort_unstable();
         instances.dedup();
         let expected = instances.len().max(1);
@@ -277,7 +277,6 @@ impl Executor {
 mod tests {
     use super::*;
     use orthrus_types::{ClientId, ObjectOp};
-    use proptest::prelude::*;
 
     fn txid(i: u64) -> TxId {
         TxId::new(ClientId::new(99), i)
@@ -495,6 +494,134 @@ mod tests {
     }
 
     #[test]
+    fn speculative_validity_ignores_escrowed_funds() {
+        // An escrow reduces the spendable balance immediately, so the
+        // leader's validity check naturally reflects pending contracts
+        // (Challenge-II: later payments see the post-escrow balance).
+        let mut exec = executor_with_accounts(&[(1, 10)]);
+        let assign = assign_mod(4);
+        let contract = Transaction::contract(
+            txid(0),
+            &[(ClientId::new(1), 7)],
+            vec![ObjectOp::set_shared(ObjectKey::new(100), 1)],
+        );
+        assert_eq!(
+            exec.process_plog_tx(&contract, InstanceId::new(1), &assign),
+            None
+        );
+        // 3 tokens remain spendable: a 3-token payment is valid, 4 is not.
+        let fits = Transaction::payment(txid(1), ClientId::new(1), ClientId::new(2), 3);
+        let too_much = Transaction::payment(txid(2), ClientId::new(1), ClientId::new(2), 4);
+        assert!(exec.speculative_valid(&fits));
+        assert!(!exec.speculative_valid(&too_much));
+    }
+
+    #[test]
+    fn speculative_validity_of_unknown_account_is_false_unless_free() {
+        let exec = executor_with_accounts(&[(1, 10)]);
+        // Account 99 does not exist: any debit is invalid…
+        let ghost = Transaction::payment(txid(0), ClientId::new(99), ClientId::new(1), 1);
+        assert!(!exec.speculative_valid(&ghost));
+        // …but a transaction debiting nothing passes trivially.
+        let free = Transaction::multi_payment(txid(1), &[], &[(ClientId::new(1), 0)]);
+        assert!(exec.speculative_valid(&free));
+    }
+
+    #[test]
+    fn double_debit_of_same_account_escrows_the_sum_once() {
+        // `multi_payment` aggregates duplicate payer entries into one debit
+        // leg, so the escrow log holds one reservation for the sum and a
+        // commit/refund cycle moves the full aggregated amount.
+        let mut exec = executor_with_accounts(&[(1, 10), (2, 0)]);
+        let assign = assign_mod(4);
+        let tx = Transaction::multi_payment(
+            txid(0),
+            &[(ClientId::new(1), 4), (ClientId::new(1), 4)],
+            &[(ClientId::new(2), 8)],
+        );
+        assert_eq!(tx.payer_count(), 1);
+        assert_eq!(
+            exec.process_plog_tx(&tx, InstanceId::new(1), &assign),
+            Some(TxOutcome::Committed)
+        );
+        assert_eq!(exec.store().balance(ObjectKey::new(1)), 2);
+        assert_eq!(exec.store().balance(ObjectKey::new(2)), 8);
+        assert!(exec.escrow_log().is_empty());
+    }
+
+    #[test]
+    fn double_debit_exceeding_balance_aborts_cleanly() {
+        let mut exec = executor_with_accounts(&[(1, 7), (2, 0)]);
+        let assign = assign_mod(4);
+        // Aggregated debit of 8 exceeds the balance of 7.
+        let tx = Transaction::multi_payment(
+            txid(0),
+            &[(ClientId::new(1), 4), (ClientId::new(1), 4)],
+            &[(ClientId::new(2), 8)],
+        );
+        assert!(!exec.speculative_valid(&tx));
+        assert_eq!(
+            exec.process_plog_tx(&tx, InstanceId::new(1), &assign),
+            Some(TxOutcome::Aborted)
+        );
+        assert_eq!(exec.store().balance(ObjectKey::new(1)), 7);
+        assert!(exec.escrow_log().is_empty());
+    }
+
+    #[test]
+    fn multi_payer_contract_abort_refunds_every_escrowed_leg() {
+        // Three payers, the third cannot cover its fee: the abort at plog
+        // time must refund the two escrows already taken in other instances.
+        let mut exec = executor_with_accounts(&[(1, 10), (2, 10), (3, 0)]);
+        let assign = assign_mod(4);
+        let tx = Transaction::contract(
+            txid(0),
+            &[
+                (ClientId::new(1), 5),
+                (ClientId::new(2), 5),
+                (ClientId::new(3), 5),
+            ],
+            vec![ObjectOp::set_shared(ObjectKey::new(100), 9)],
+        );
+        assert_eq!(exec.process_plog_tx(&tx, InstanceId::new(1), &assign), None);
+        assert_eq!(exec.process_plog_tx(&tx, InstanceId::new(2), &assign), None);
+        assert_eq!(exec.escrow_log().len(), 2);
+        assert_eq!(exec.store().balance(ObjectKey::new(1)), 5);
+        assert_eq!(
+            exec.process_plog_tx(&tx, InstanceId::new(3), &assign),
+            Some(TxOutcome::Aborted)
+        );
+        // Every leg refunded, nothing executed, abort is sticky in the glog.
+        assert!(exec.escrow_log().is_empty());
+        assert_eq!(exec.store().balance(ObjectKey::new(1)), 10);
+        assert_eq!(exec.store().balance(ObjectKey::new(2)), 10);
+        assert_eq!(exec.process_glog_tx(&tx, &assign), Some(TxOutcome::Aborted));
+        assert_eq!(exec.store().shared_value(ObjectKey::new(100)), 0);
+        assert_eq!(exec.aborted_count(), 1);
+    }
+
+    #[test]
+    fn contract_missing_escrow_at_last_glog_occurrence_refunds() {
+        // The contract's legs never went through the plog (e.g. the replica
+        // saw the glog entries first); at the last occurrence `allEscrowed`
+        // fails and any partial escrow is refunded.
+        let mut exec = executor_with_accounts(&[(1, 10), (2, 10)]);
+        let assign = assign_mod(4);
+        let tx = Transaction::contract(
+            txid(0),
+            &[(ClientId::new(1), 1), (ClientId::new(2), 1)],
+            vec![ObjectOp::set_shared(ObjectKey::new(100), 7)],
+        );
+        // Only payer 1's leg is escrowed before global ordering completes.
+        assert_eq!(exec.process_plog_tx(&tx, InstanceId::new(1), &assign), None);
+        assert_eq!(exec.process_glog_tx(&tx, &assign), None);
+        assert_eq!(exec.process_glog_tx(&tx, &assign), Some(TxOutcome::Aborted));
+        assert_eq!(exec.store().balance(ObjectKey::new(1)), 10);
+        assert_eq!(exec.store().shared_value(ObjectKey::new(100)), 0);
+        assert!(exec.escrow_log().is_empty());
+    }
+
+    #[test]
     fn reprocessing_a_confirmed_tx_is_idempotent() {
         let mut exec = executor_with_accounts(&[(1, 100), (2, 0)]);
         let assign = assign_mod(4);
@@ -512,24 +639,30 @@ mod tests {
         assert_eq!(exec.committed_count(), 1);
     }
 
-    proptest! {
-        /// Commutativity of conflict-free payments (Lemma 2): executing the
-        /// same set of single-payer payments in any two orders yields the
-        /// same final balances, provided every payment succeeds in both
-        /// orders (here guaranteed by generous initial balances).
-        #[test]
-        fn prop_payment_batches_commute(
-            transfers in prop::collection::vec((1u64..8, 1u64..8, 1u64..20), 1..40),
-            seed in 0u64..1_000,
-        ) {
-            use rand::{seq::SliceRandom, SeedableRng};
-            let assign = assign_mod(4);
-            let accounts: Vec<(u64, u64)> = (1..=8).map(|k| (k, 10_000)).collect();
-            let txs: Vec<Transaction> = transfers
-                .iter()
-                .enumerate()
-                .map(|(i, (payer, payee, amount))| {
-                    Transaction::payment(txid(i as u64), ClientId::new(*payer), ClientId::new(*payee), *amount)
+    /// Commutativity of conflict-free payments (Lemma 2): executing the same
+    /// set of single-payer payments in any two orders yields the same final
+    /// balances, provided every payment succeeds in both orders (here
+    /// guaranteed by generous initial balances). (Seeded-loop replacement for
+    /// the former property-based test.)
+    #[test]
+    fn payment_batches_commute() {
+        use orthrus_types::rng::{Rng, SliceRandom, StdRng};
+        let assign = assign_mod(4);
+        let accounts: Vec<(u64, u64)> = (1..=8).map(|k| (k, 10_000)).collect();
+        for seed in 0u64..60 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let count = rng.gen_range(1usize..40);
+            let txs: Vec<Transaction> = (0..count)
+                .map(|i| {
+                    let payer: u64 = rng.gen_range(1..8);
+                    let payee: u64 = rng.gen_range(1..8);
+                    let amount: u64 = rng.gen_range(1..20);
+                    Transaction::payment(
+                        txid(i as u64),
+                        ClientId::new(payer),
+                        ClientId::new(payee),
+                        amount,
+                    )
                 })
                 .collect();
 
@@ -545,32 +678,46 @@ mod tests {
 
             let forward = run(&txs);
             let mut shuffled = txs.clone();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             shuffled.shuffle(&mut rng);
             let reordered = run(&shuffled);
-            prop_assert_eq!(forward, reordered);
+            assert_eq!(forward, reordered, "seed {seed}");
         }
+    }
 
-        /// Atomicity (Lemma 5) and conservation: for any mix of multi-payer
-        /// payments processed leg by leg, the total supply (balances +
-        /// escrow) never changes, and after all legs are processed the escrow
-        /// log is empty (every transaction either fully committed or fully
-        /// aborted).
-        #[test]
-        fn prop_multi_payer_atomicity(
-            transfers in prop::collection::vec((1u64..5, 1u64..5, 5u64..8, 1u64..40), 1..25),
-        ) {
+    /// Atomicity (Lemma 5) and conservation: for any mix of multi-payer
+    /// payments processed leg by leg, the total supply (balances + escrow)
+    /// never changes, and after all legs are processed the escrow log is
+    /// empty (every transaction either fully committed or fully aborted).
+    #[test]
+    fn multi_payer_atomicity_conserves_supply() {
+        use orthrus_types::rng::{Rng, StdRng};
+        for seed in 0u64..60 {
+            let mut rng = StdRng::seed_from_u64(seed);
             let assign = assign_mod(3);
-            let mut exec = executor_with_accounts(&[(1, 50), (2, 50), (3, 50), (4, 50), (5, 0), (6, 0), (7, 0)]);
+            let mut exec = executor_with_accounts(&[
+                (1, 50),
+                (2, 50),
+                (3, 50),
+                (4, 50),
+                (5, 0),
+                (6, 0),
+                (7, 0),
+            ]);
             let initial_supply = exec.total_supply();
-            let txs: Vec<Transaction> = transfers
-                .iter()
-                .enumerate()
-                .map(|(i, (p1, p2, payee, amount))| {
+            let count = rng.gen_range(1usize..25);
+            let txs: Vec<Transaction> = (0..count)
+                .map(|i| {
+                    let p1: u64 = rng.gen_range(1..5);
+                    let p2: u64 = rng.gen_range(1..5);
+                    let payee: u64 = rng.gen_range(5..8);
+                    let amount: u64 = rng.gen_range(1..40);
                     Transaction::multi_payment(
                         txid(i as u64),
-                        &[(ClientId::new(*p1), *amount), (ClientId::new(*p2), *amount / 2 + 1)],
-                        &[(ClientId::new(*payee), *amount + *amount / 2 + 1)],
+                        &[
+                            (ClientId::new(p1), amount),
+                            (ClientId::new(p2), amount / 2 + 1),
+                        ],
+                        &[(ClientId::new(payee), amount + amount / 2 + 1)],
                     )
                 })
                 .collect();
@@ -580,12 +727,12 @@ mod tests {
                 instances.dedup();
                 for inst in instances {
                     exec.process_plog_tx(tx, inst, &assign);
-                    prop_assert_eq!(exec.total_supply(), initial_supply);
+                    assert_eq!(exec.total_supply(), initial_supply, "seed {seed}");
                 }
             }
-            prop_assert!(exec.escrow_log().is_empty());
+            assert!(exec.escrow_log().is_empty(), "seed {seed}");
             for tx in &txs {
-                prop_assert!(exec.outcome(tx.id).is_some());
+                assert!(exec.outcome(tx.id).is_some(), "seed {seed}");
             }
         }
     }

@@ -25,4 +25,4 @@ pub mod store;
 
 pub use escrow::EscrowLog;
 pub use executor::{Executor, TxOutcome};
-pub use store::{ObjectStore, ObjectState};
+pub use store::{ObjectState, ObjectStore};

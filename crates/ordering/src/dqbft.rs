@@ -14,14 +14,14 @@
 //! Orthrus/Ladon but ahead of the pre-determined protocols under stragglers.
 
 use crate::policy::GlobalOrderingPolicy;
-use orthrus_types::{Block, BlockId};
+use orthrus_types::{BlockId, SharedBlock};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Global ordering driven by a dedicated ordering instance's decisions.
 #[derive(Debug, Default, Clone)]
 pub struct DqbftOrdering {
     /// Data blocks delivered but not yet confirmed, keyed by id.
-    delivered: HashMap<BlockId, Block>,
+    delivered: HashMap<BlockId, SharedBlock>,
     /// Decided ids waiting for their data (or for earlier decisions).
     decisions: VecDeque<BlockId>,
     /// Ids already confirmed (to drop duplicates).
@@ -35,7 +35,7 @@ impl DqbftOrdering {
     }
 
     /// Drain the front of the decision queue as long as data is available.
-    fn drain(&mut self) -> Vec<Block> {
+    fn drain(&mut self) -> Vec<SharedBlock> {
         let mut out = Vec::new();
         while let Some(next) = self.decisions.front() {
             if self.confirmed.contains(next) {
@@ -61,7 +61,7 @@ impl DqbftOrdering {
 }
 
 impl GlobalOrderingPolicy for DqbftOrdering {
-    fn on_deliver(&mut self, block: Block) -> Vec<Block> {
+    fn on_deliver(&mut self, block: SharedBlock) -> Vec<SharedBlock> {
         let id = block.id();
         if self.confirmed.contains(&id) {
             return Vec::new();
@@ -70,7 +70,7 @@ impl GlobalOrderingPolicy for DqbftOrdering {
         self.drain()
     }
 
-    fn on_order_decision(&mut self, id: BlockId) -> Vec<Block> {
+    fn on_order_decision(&mut self, id: BlockId) -> Vec<SharedBlock> {
         if self.confirmed.contains(&id) || self.decisions.contains(&id) {
             return Vec::new();
         }
@@ -127,7 +127,7 @@ mod tests {
         confirmed.extend(ord.on_order_decision(c.id()));
         confirmed.extend(ord.on_order_decision(a.id()));
         confirmed.extend(ord.on_order_decision(b.id()));
-        let ids: Vec<BlockId> = confirmed.iter().map(Block::id).collect();
+        let ids: Vec<BlockId> = confirmed.iter().map(|b| b.id()).collect();
         assert_eq!(ids, vec![c.id(), a.id(), b.id()]);
     }
 

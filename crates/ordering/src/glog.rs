@@ -5,13 +5,14 @@
 //! or Ladon); the execution module consumes them in order through the cursor,
 //! executing contract transactions sequentially.
 
-use orthrus_types::{Block, BlockId};
+use orthrus_types::{BlockId, SharedBlock};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The global log.
 #[derive(Debug, Default, Clone)]
 pub struct GlobalLog {
-    blocks: Vec<Block>,
+    blocks: Vec<SharedBlock>,
     ids: HashSet<BlockId>,
     /// Index of the first entry not yet consumed by the execution module.
     cursor: usize,
@@ -26,7 +27,7 @@ impl GlobalLog {
     /// Append a globally confirmed block. Duplicate block ids are ignored
     /// (the ordering policy emits each block exactly once, but the execution
     /// layer's abort path may try to re-append during recovery).
-    pub fn append(&mut self, block: Block) {
+    pub fn append(&mut self, block: SharedBlock) {
         if self.ids.insert(block.id()) {
             self.blocks.push(block);
         }
@@ -48,7 +49,7 @@ impl GlobalLog {
     }
 
     /// The first appended-but-not-yet-executed block, if any.
-    pub fn first_pending(&self) -> Option<&Block> {
+    pub fn first_pending(&self) -> Option<&SharedBlock> {
         self.blocks.get(self.cursor)
     }
 
@@ -57,9 +58,10 @@ impl GlobalLog {
         self.cursor
     }
 
-    /// Pop the next block for execution, advancing the cursor.
-    pub fn pop_pending(&mut self) -> Option<Block> {
-        let block = self.blocks.get(self.cursor)?.clone();
+    /// Pop the next block for execution, advancing the cursor. Returns a
+    /// clone of the shared handle (a reference-count bump).
+    pub fn pop_pending(&mut self) -> Option<SharedBlock> {
+        let block = Arc::clone(self.blocks.get(self.cursor)?);
         self.cursor += 1;
         Some(block)
     }
@@ -73,13 +75,13 @@ impl GlobalLog {
     }
 
     /// Iterate over the confirmed blocks in global order.
-    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+    pub fn iter(&self) -> impl Iterator<Item = &SharedBlock> {
         self.blocks.iter()
     }
 
     /// Block ids in global order (useful for cross-replica agreement checks).
     pub fn order(&self) -> Vec<BlockId> {
-        self.blocks.iter().map(Block::id).collect()
+        self.blocks.iter().map(|b| b.id()).collect()
     }
 }
 
@@ -87,11 +89,11 @@ impl GlobalLog {
 mod tests {
     use super::*;
     use orthrus_types::{
-        BlockParams, Epoch, InstanceId, Rank, ReplicaId, SeqNum, SystemState, View,
+        Block, BlockParams, Epoch, InstanceId, Rank, ReplicaId, SeqNum, SystemState, View,
     };
 
-    fn block(instance: u32, sn: u64) -> Block {
-        Block::no_op(BlockParams {
+    fn block(instance: u32, sn: u64) -> SharedBlock {
+        Arc::new(Block::no_op(BlockParams {
             instance: InstanceId::new(instance),
             sn: SeqNum::new(sn),
             epoch: Epoch::new(0),
@@ -99,7 +101,7 @@ mod tests {
             proposer: ReplicaId::new(instance),
             rank: Rank::new(sn),
             state: SystemState::new(2),
-        })
+        }))
     }
 
     #[test]
@@ -124,10 +126,19 @@ mod tests {
         let mut glog = GlobalLog::new();
         glog.append(block(0, 0));
         glog.append(block(1, 0));
-        assert_eq!(glog.first_pending().unwrap().header.instance, InstanceId::new(0));
-        assert_eq!(glog.pop_pending().unwrap().header.instance, InstanceId::new(0));
+        assert_eq!(
+            glog.first_pending().unwrap().header.instance,
+            InstanceId::new(0)
+        );
+        assert_eq!(
+            glog.pop_pending().unwrap().header.instance,
+            InstanceId::new(0)
+        );
         assert_eq!(glog.cursor(), 1);
-        assert_eq!(glog.pop_pending().unwrap().header.instance, InstanceId::new(1));
+        assert_eq!(
+            glog.pop_pending().unwrap().header.instance,
+            InstanceId::new(1)
+        );
         assert!(glog.pop_pending().is_none());
     }
 

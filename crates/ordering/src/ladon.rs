@@ -15,7 +15,7 @@
 //! reserved slots.
 
 use crate::policy::GlobalOrderingPolicy;
-use orthrus_types::{Block, InstanceId, Rank};
+use orthrus_types::{Block, InstanceId, Rank, SharedBlock};
 use std::collections::BTreeMap;
 
 /// The global ordering key of a block: `(rank, instance)`, compared
@@ -48,7 +48,7 @@ pub struct LadonOrdering {
     /// Blocks delivered but not yet confirmed (`W`), keyed by order key plus
     /// sequence number to keep keys unique even if a Byzantine leader reuses
     /// a rank within its instance.
-    waiting: BTreeMap<(OrderKey, u64), Block>,
+    waiting: BTreeMap<(OrderKey, u64), SharedBlock>,
 }
 
 impl LadonOrdering {
@@ -90,7 +90,7 @@ impl LadonOrdering {
 }
 
 impl GlobalOrderingPolicy for LadonOrdering {
-    fn on_deliver(&mut self, block: Block) -> Vec<Block> {
+    fn on_deliver(&mut self, block: SharedBlock) -> Vec<SharedBlock> {
         let instance = block.header.instance.as_usize();
         if instance >= self.last_delivered.len() {
             self.last_delivered.resize(instance + 1, None);
@@ -137,7 +137,7 @@ impl GlobalOrderingPolicy for LadonOrdering {
 mod tests {
     use super::*;
     use crate::policy::test_support::block;
-    use proptest::prelude::*;
+    use std::sync::Arc;
 
     #[test]
     fn bar_starts_conservative() {
@@ -207,41 +207,42 @@ mod tests {
         assert_eq!(keys, vec![(2, 1), (2, 2)]);
     }
 
-    proptest! {
-        /// Agreement: two replicas that deliver the same blocks in different
-        /// orders confirm the same global prefix in the same order.
-        #[test]
-        fn prop_confirmation_order_is_delivery_order_independent(seed in 0u64..500) {
-            use rand::{seq::SliceRandom, SeedableRng};
-            let m = 3u32;
-            // Per-instance monotone ranks loosely interleaved across instances.
-            let mut blocks = Vec::new();
-            let mut rank = 1u64;
-            for sn in 0..4u64 {
-                for inst in 0..m {
-                    blocks.push(block(inst, sn, rank));
-                    rank += 1;
-                }
+    /// Agreement: two replicas that deliver the same blocks in different
+    /// orders confirm the same global prefix in the same order. (Seeded-loop
+    /// replacement for the former property-based test.)
+    #[test]
+    fn confirmation_order_is_delivery_order_independent() {
+        use orthrus_types::rng::{SliceRandom, StdRng};
+        let m = 3u32;
+        // Per-instance monotone ranks loosely interleaved across instances.
+        let mut blocks = Vec::new();
+        let mut rank = 1u64;
+        for sn in 0..4u64 {
+            for inst in 0..m {
+                blocks.push(block(inst, sn, rank));
+                rank += 1;
             }
-            let run = |order: &[orthrus_types::Block]| {
-                let mut ord = LadonOrdering::new(m);
-                let mut confirmed = Vec::new();
-                for b in order {
-                    confirmed.extend(ord.on_deliver(b.clone()));
-                }
-                confirmed.iter().map(|b| b.id()).collect::<Vec<_>>()
-            };
-            // Replica A: per-instance in-order delivery, instances interleaved
-            // round-robin (canonical).
-            let canonical = run(&blocks);
+        }
+        let run = |order: &[SharedBlock]| {
+            let mut ord = LadonOrdering::new(m);
+            let mut confirmed = Vec::new();
+            for b in order {
+                confirmed.extend(ord.on_deliver(Arc::clone(b)));
+            }
+            confirmed.iter().map(|b| b.id()).collect::<Vec<_>>()
+        };
+        // Replica A: per-instance in-order delivery, instances interleaved
+        // round-robin (canonical).
+        let canonical = run(&blocks);
 
+        for seed in 0u64..150 {
             // Replica B: instances still deliver in order internally, but the
             // interleaving across instances is random.
-            let mut per_instance: Vec<Vec<orthrus_types::Block>> = vec![Vec::new(); m as usize];
+            let mut per_instance: Vec<Vec<SharedBlock>> = vec![Vec::new(); m as usize];
             for b in &blocks {
-                per_instance[b.header.instance.as_usize()].push(b.clone());
+                per_instance[b.header.instance.as_usize()].push(Arc::clone(b));
             }
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
             let mut shuffled = Vec::new();
             let mut cursors = vec![0usize; m as usize];
             while shuffled.len() < blocks.len() {
@@ -249,7 +250,7 @@ mod tests {
                     .filter(|i| cursors[*i] < per_instance[*i].len())
                     .collect();
                 let pick = *available.choose(&mut rng).unwrap();
-                shuffled.push(per_instance[pick][cursors[pick]].clone());
+                shuffled.push(Arc::clone(&per_instance[pick][cursors[pick]]));
                 cursors[pick] += 1;
             }
             let other = run(&shuffled);
@@ -257,15 +258,17 @@ mod tests {
             // One run may have confirmed a longer prefix than the other, but
             // the shared prefix must be identical.
             let common = canonical.len().min(other.len());
-            prop_assert_eq!(&canonical[..common], &other[..common]);
+            assert_eq!(&canonical[..common], &other[..common], "seed {seed}");
         }
+    }
 
-        /// Liveness/totality: once every instance has delivered its last
-        /// block with the globally largest rank observed so far plus one
-        /// sentinel block, every earlier block is confirmed.
-        #[test]
-        fn prop_sentinel_flush_confirms_everything(num_blocks in 1usize..30) {
-            let m = 4u32;
+    /// Liveness/totality: once every instance has delivered its last block
+    /// with the globally largest rank observed so far plus one sentinel
+    /// block, every earlier block is confirmed.
+    #[test]
+    fn sentinel_flush_confirms_everything() {
+        let m = 4u32;
+        for num_blocks in 1usize..30 {
             let mut ord = LadonOrdering::new(m);
             let mut rank = 1u64;
             let mut total = 0usize;
@@ -283,7 +286,7 @@ mod tests {
                 confirmed += ord.on_deliver(block(inst, num_blocks as u64, rank)).len();
                 rank += 1;
             }
-            prop_assert!(confirmed >= total, "confirmed {confirmed} of {total}");
+            assert!(confirmed >= total, "confirmed {confirmed} of {total}");
         }
     }
 }

@@ -5,13 +5,14 @@
 //! log in sequence-number order ("first pending transaction") to execute
 //! payment transactions without waiting for the global log.
 
-use orthrus_types::{Block, InstanceId, SeqNum};
+use orthrus_types::{InstanceId, SeqNum, SharedBlock};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The partial log of a single SB instance.
 #[derive(Debug, Default, Clone)]
 pub struct PartialLog {
-    blocks: BTreeMap<SeqNum, Block>,
+    blocks: BTreeMap<SeqNum, SharedBlock>,
     /// First sequence number not yet consumed by the execution module.
     cursor: SeqNum,
 }
@@ -22,15 +23,16 @@ impl PartialLog {
         Self::default()
     }
 
-    /// Insert a delivered block at its sequence number. Re-inserting the same
-    /// sequence number keeps the first copy (SB agreement guarantees they are
-    /// identical).
-    pub fn insert(&mut self, block: Block) {
+    /// Insert a delivered block at its sequence number. The log stores the
+    /// shared handle the SB instance delivered — no transaction data is
+    /// copied. Re-inserting the same sequence number keeps the first handle
+    /// (SB agreement guarantees the contents are identical).
+    pub fn insert(&mut self, block: SharedBlock) {
         self.blocks.entry(block.header.sn).or_insert(block);
     }
 
     /// The block at `sn`, if delivered.
-    pub fn get(&self, sn: SeqNum) -> Option<&Block> {
+    pub fn get(&self, sn: SeqNum) -> Option<&SharedBlock> {
         self.blocks.get(&sn)
     }
 
@@ -51,13 +53,15 @@ impl PartialLog {
 
     /// The next contiguous block available for execution (the paper's
     /// `firstPending(plog[i])`), if it has been delivered.
-    pub fn first_pending(&self) -> Option<&Block> {
+    pub fn first_pending(&self) -> Option<&SharedBlock> {
         self.blocks.get(&self.cursor)
     }
 
     /// Pop the next contiguous block for execution, advancing the cursor.
-    pub fn pop_pending(&mut self) -> Option<Block> {
-        let block = self.blocks.get(&self.cursor)?.clone();
+    /// Returns a clone of the shared handle (a reference-count bump); the
+    /// block stays in the log until garbage collection.
+    pub fn pop_pending(&mut self) -> Option<SharedBlock> {
+        let block = Arc::clone(self.blocks.get(&self.cursor)?);
         self.cursor = self.cursor.next();
         Some(block)
     }
@@ -70,7 +74,7 @@ impl PartialLog {
     }
 
     /// Iterate over all delivered blocks in sequence order.
-    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+    pub fn iter(&self) -> impl Iterator<Item = &SharedBlock> {
         self.blocks.values()
     }
 }
@@ -119,10 +123,10 @@ impl PartialLogs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orthrus_types::{BlockParams, Epoch, Rank, ReplicaId, SystemState, View};
+    use orthrus_types::{Block, BlockParams, Epoch, Rank, ReplicaId, SystemState, View};
 
-    fn block(instance: u32, sn: u64) -> Block {
-        Block::no_op(BlockParams {
+    fn block(instance: u32, sn: u64) -> SharedBlock {
+        Arc::new(Block::no_op(BlockParams {
             instance: InstanceId::new(instance),
             sn: SeqNum::new(sn),
             epoch: Epoch::new(0),
@@ -130,7 +134,7 @@ mod tests {
             proposer: ReplicaId::new(instance),
             rank: Rank::new(sn),
             state: SystemState::new(2),
-        })
+        }))
     }
 
     #[test]
@@ -150,7 +154,7 @@ mod tests {
     fn duplicate_insert_keeps_first() {
         let mut log = PartialLog::new();
         let first = block(0, 0);
-        log.insert(first.clone());
+        log.insert(Arc::clone(&first));
         log.insert(block(0, 0));
         assert_eq!(log.len(), 1);
         assert_eq!(log.get(SeqNum::new(0)).unwrap().digest(), first.digest());

@@ -16,20 +16,21 @@
 //! obtains the same global log, without extra communication (DQBFT's decision
 //! stream also goes through consensus and is therefore identical everywhere).
 
-use orthrus_types::{Block, BlockId};
+use orthrus_types::{BlockId, SharedBlock};
 
 /// A deterministic rule turning per-instance deliveries into a global order.
 pub trait GlobalOrderingPolicy {
     /// Feed one block delivered by its SB instance. Returns the blocks that
     /// become globally confirmed as a result, in global order. May return
     /// zero blocks (the delivery filled no gap) or several (it unblocked a
-    /// prefix).
-    fn on_deliver(&mut self, block: Block) -> Vec<Block>;
+    /// prefix). Blocks move through the policy as shared handles; buffering
+    /// and confirming never copies transaction data.
+    fn on_deliver(&mut self, block: SharedBlock) -> Vec<SharedBlock>;
 
     /// Feed one ordering decision (only meaningful for DQBFT, where the
     /// dedicated ordering instance delivers the ids of data blocks in their
     /// global order). The default implementation ignores decisions.
-    fn on_order_decision(&mut self, _id: BlockId) -> Vec<Block> {
+    fn on_order_decision(&mut self, _id: BlockId) -> Vec<SharedBlock> {
         Vec::new()
     }
 
@@ -44,12 +45,13 @@ pub trait GlobalOrderingPolicy {
 #[cfg(test)]
 pub(crate) mod test_support {
     use orthrus_types::{
-        Block, BlockParams, Epoch, InstanceId, Rank, ReplicaId, SeqNum, SystemState, View,
+        Block, BlockParams, Epoch, InstanceId, Rank, ReplicaId, SeqNum, SharedBlock, SystemState,
+        View,
     };
 
     /// Build a no-op block for ordering tests.
-    pub(crate) fn block(instance: u32, sn: u64, rank: u64) -> Block {
-        Block::no_op(BlockParams {
+    pub(crate) fn block(instance: u32, sn: u64, rank: u64) -> SharedBlock {
+        std::sync::Arc::new(Block::no_op(BlockParams {
             instance: InstanceId::new(instance),
             sn: SeqNum::new(sn),
             epoch: Epoch::new(0),
@@ -57,6 +59,6 @@ pub(crate) mod test_support {
             proposer: ReplicaId::new(instance),
             rank: Rank::new(rank),
             state: SystemState::new(4),
-        })
+        }))
     }
 }

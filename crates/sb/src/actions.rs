@@ -7,7 +7,7 @@
 //! code run under the discrete-event simulation or any other transport.
 
 use crate::messages::SbMessage;
-use orthrus_types::{Block, ReplicaId, SeqNum, View};
+use orthrus_types::{ReplicaId, SeqNum, SharedBlock, View};
 
 /// An instruction from an SB instance to its hosting replica.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,8 +28,10 @@ pub enum SbAction {
     /// The instance delivered `block`: it is now (partially) ordered at its
     /// sequence number and may enter the partial/global logs.
     Deliver {
-        /// Delivered block.
-        block: Block,
+        /// Delivered block (shared handle — the same allocation the
+        /// pre-prepare carried; the partial and global logs keep referencing
+        /// it without copying).
+        block: SharedBlock,
     },
     /// The instance moved to a new view with a new leader (used by the host
     /// for bookkeeping and by the statistics collector).
@@ -50,7 +52,7 @@ pub enum SbAction {
 
 impl SbAction {
     /// Convenience accessor: the delivered block, if this is a delivery.
-    pub fn as_delivery(&self) -> Option<&Block> {
+    pub fn as_delivery(&self) -> Option<&SharedBlock> {
         match self {
             SbAction::Deliver { block } => Some(block),
             _ => None,
@@ -83,7 +85,7 @@ impl ActionSink {
         self.actions.push(SbAction::Broadcast { msg });
     }
 
-    pub(crate) fn deliver(&mut self, block: Block) {
+    pub(crate) fn deliver(&mut self, block: SharedBlock) {
         self.actions.push(SbAction::Deliver { block });
     }
 
@@ -103,10 +105,11 @@ impl ActionSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orthrus_types::{BlockParams, Epoch, InstanceId, Rank, SystemState};
+    use orthrus_types::{Block, BlockParams, Epoch, InstanceId, Rank, SystemState};
+    use std::sync::Arc;
 
-    fn block() -> Block {
-        Block::no_op(BlockParams {
+    fn block() -> SharedBlock {
+        Arc::new(Block::no_op(BlockParams {
             instance: InstanceId::new(0),
             sn: SeqNum::new(0),
             epoch: Epoch::new(0),
@@ -114,7 +117,7 @@ mod tests {
             proposer: ReplicaId::new(0),
             rank: Rank::new(0),
             state: SystemState::new(1),
-        })
+        }))
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::actions::SbAction;
 use crate::messages::SbMessage;
 use crate::pbft::{PbftConfig, PbftInstance};
-use orthrus_types::{Block, InstanceId, ReplicaId, SimTime};
+use orthrus_types::{InstanceId, ReplicaId, SharedBlock, SimTime};
 use std::collections::{BTreeSet, VecDeque};
 
 /// A queued message: sender, explicit recipients, payload.
@@ -23,7 +23,7 @@ struct Envelope {
 /// An in-memory cluster of PBFT instances sharing one instance index.
 pub struct LocalCluster {
     instances: Vec<PbftInstance>,
-    delivered: Vec<Vec<Block>>,
+    delivered: Vec<Vec<SharedBlock>>,
     queue: VecDeque<Envelope>,
     silenced: BTreeSet<ReplicaId>,
     num_replicas: u32,
@@ -58,7 +58,7 @@ impl LocalCluster {
     }
 
     /// Blocks delivered by `replica`, in delivery order.
-    pub fn delivered(&self, replica: ReplicaId) -> &[Block] {
+    pub fn delivered(&self, replica: ReplicaId) -> &[SharedBlock] {
         &self.delivered[replica.as_usize()]
     }
 
@@ -69,7 +69,7 @@ impl LocalCluster {
     }
 
     /// Have `replica` propose `block` as leader.
-    pub fn propose(&mut self, replica: ReplicaId, block: Block) {
+    pub fn propose(&mut self, replica: ReplicaId, block: SharedBlock) {
         let actions = self.instances[replica.as_usize()].propose(block, SimTime::ZERO);
         self.enqueue_actions(replica, actions);
     }
@@ -108,8 +108,11 @@ impl LocalCluster {
                 if to == env.from || self.silenced.contains(&to) {
                     continue;
                 }
-                let actions =
-                    self.instances[to.as_usize()].handle_message(env.from, env.msg.clone(), SimTime::ZERO);
+                let actions = self.instances[to.as_usize()].handle_message(
+                    env.from,
+                    env.msg.clone(),
+                    SimTime::ZERO,
+                );
                 self.enqueue_actions(to, actions);
             }
         }
@@ -144,10 +147,11 @@ impl LocalCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orthrus_types::{BlockParams, Epoch, Rank, SeqNum, SystemState, View};
+    use orthrus_types::{Block, BlockParams, Epoch, Rank, SeqNum, SystemState, View};
+    use std::sync::Arc;
 
-    fn block(sn: u64) -> Block {
-        Block::no_op(BlockParams {
+    fn block(sn: u64) -> SharedBlock {
+        Arc::new(Block::no_op(BlockParams {
             instance: InstanceId::new(0),
             sn: SeqNum::new(sn),
             epoch: Epoch::new(0),
@@ -155,7 +159,7 @@ mod tests {
             proposer: ReplicaId::new(0),
             rank: Rank::new(sn),
             state: SystemState::new(4),
-        })
+        }))
     }
 
     #[test]

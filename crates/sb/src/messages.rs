@@ -7,8 +7,7 @@
 //! new-view pair used by the failure detector to replace faulty leaders.
 
 use orthrus_sim::Payload;
-use orthrus_types::{Block, Digest, InstanceId, ReplicaId, SeqNum, View};
-use serde::{Deserialize, Serialize};
+use orthrus_types::{Digest, InstanceId, ReplicaId, SeqNum, SharedBlock, View};
 
 /// Size in bytes charged for a vote-style message (prepare/commit/checkpoint):
 /// digest + ids + signature.
@@ -21,21 +20,24 @@ pub const VIEW_CHANGE_OVERHEAD_BYTES: u64 = 256;
 /// A prepared certificate carried inside a view-change message: the block the
 /// sender had prepared but not yet seen delivered, so the new leader can
 /// re-propose it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreparedProof {
     /// Sequence number of the prepared slot.
     pub sn: SeqNum,
-    /// The prepared block.
-    pub block: Block,
+    /// The prepared block (shared handle; carrying it in a vote bumps a
+    /// reference count instead of copying the batch).
+    pub block: SharedBlock,
 }
 
 /// PBFT messages exchanged inside one SB instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SbMessage {
     /// Leader → backups: proposal of `block` for its sequence number.
     PrePrepare {
         /// Proposed block (carries instance, sequence number, view, rank).
-        block: Block,
+        /// Shared: broadcasting the pre-prepare to `n - 1` backups clones the
+        /// handle, never the transaction batch.
+        block: SharedBlock,
     },
     /// Backup → all: the sender accepted the pre-prepare for `(view, sn)`.
     Prepare {
@@ -100,7 +102,7 @@ pub enum SbMessage {
         /// Replicas whose view-change votes justified this new view.
         supporters: Vec<ReplicaId>,
         /// Blocks re-proposed by the new leader (in sequence-number order).
-        reproposals: Vec<Block>,
+        reproposals: Vec<SharedBlock>,
     },
 }
 
@@ -142,8 +144,7 @@ impl Payload for SbMessage {
                     + prepared.iter().map(|p| p.block.wire_bytes()).sum::<u64>()
             }
             SbMessage::NewView { reproposals, .. } => {
-                VIEW_CHANGE_OVERHEAD_BYTES
-                    + reproposals.iter().map(Block::wire_bytes).sum::<u64>()
+                VIEW_CHANGE_OVERHEAD_BYTES + reproposals.iter().map(|b| b.wire_bytes()).sum::<u64>()
             }
         }
     }
@@ -152,10 +153,11 @@ impl Payload for SbMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orthrus_types::{BlockParams, Epoch, Rank, SystemState};
+    use orthrus_types::{Block, BlockParams, Epoch, Rank, SystemState};
+    use std::sync::Arc;
 
-    fn block(instance: u32, sn: u64) -> Block {
-        Block::no_op(BlockParams {
+    fn block(instance: u32, sn: u64) -> SharedBlock {
+        Arc::new(Block::no_op(BlockParams {
             instance: InstanceId::new(instance),
             sn: SeqNum::new(sn),
             epoch: Epoch::new(0),
@@ -163,7 +165,7 @@ mod tests {
             proposer: ReplicaId::new(instance),
             rank: Rank::new(sn),
             state: SystemState::new(4),
-        })
+        }))
     }
 
     #[test]

@@ -22,10 +22,9 @@
 
 use crate::actions::{ActionSink, SbAction};
 use crate::messages::{PreparedProof, SbMessage};
-use orthrus_types::{
-    Block, Digest, InstanceId, ReplicaId, SeqNum, SimTime, View,
-};
+use orthrus_types::{Digest, InstanceId, ReplicaId, SeqNum, SharedBlock, SimTime, View};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Static configuration of one PBFT instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,7 +61,7 @@ impl PbftConfig {
 /// Per-sequence-number voting state.
 #[derive(Debug, Default, Clone)]
 struct Slot {
-    proposal: Option<Block>,
+    proposal: Option<SharedBlock>,
     digest: Option<Digest>,
     /// Replicas attesting to the proposal (leader via pre-prepare, others via
     /// prepare votes).
@@ -74,7 +73,7 @@ struct Slot {
 
 impl Slot {
     fn accepts_digest(&self, digest: Digest) -> bool {
-        self.digest.map_or(true, |d| d == digest)
+        self.digest.is_none_or(|d| d == digest)
     }
 }
 
@@ -181,8 +180,10 @@ impl PbftInstance {
 
     /// Propose `block` as the leader of the current view. The block must
     /// carry this instance's id, the current view and the sequence number
-    /// returned by [`Self::next_propose_sn`].
-    pub fn propose(&mut self, block: Block, now: SimTime) -> Vec<SbAction> {
+    /// returned by [`Self::next_propose_sn`]. The handle is shared: the slot
+    /// buffer keeps one reference and the broadcast moves the other, so no
+    /// transaction payload is copied on the leader's hot path.
+    pub fn propose(&mut self, block: SharedBlock, now: SimTime) -> Vec<SbAction> {
         let mut sink = ActionSink::new();
         if !self.is_leader() {
             return sink.into_vec();
@@ -198,7 +199,7 @@ impl PbftInstance {
         self.next_propose = sn.next();
         {
             let slot = self.slots.entry(sn).or_default();
-            slot.proposal = Some(block.clone());
+            slot.proposal = Some(Arc::clone(&block));
             slot.digest = Some(digest);
             // The pre-prepare counts as the leader's attestation.
             slot.prepares.insert(self.cfg.me);
@@ -274,7 +275,7 @@ impl PbftInstance {
     fn on_pre_prepare(
         &mut self,
         from: ReplicaId,
-        block: Block,
+        block: SharedBlock,
         now: SimTime,
         sink: &mut ActionSink,
     ) {
@@ -424,7 +425,11 @@ impl PbftInstance {
             }
             let slot = self.slots.get_mut(&sn).expect("checked above");
             slot.delivered = true;
-            let block = slot.proposal.clone().expect("checked above");
+            let block = slot
+                .proposal
+                .as_ref()
+                .map(Arc::clone)
+                .expect("checked above");
             self.delivered_digest = self.delivered_digest.combine(block.digest());
             self.delivered_count += 1;
             self.next_delivery = sn.next();
@@ -443,7 +448,7 @@ impl PbftInstance {
 
     fn maybe_checkpoint(&mut self, sink: &mut ActionSink) {
         let interval = self.cfg.checkpoint_interval.max(1);
-        if self.next_delivery.value() == 0 || self.next_delivery.value() % interval != 0 {
+        if self.next_delivery.value() == 0 || !self.next_delivery.value().is_multiple_of(interval) {
             return;
         }
         let sn = SeqNum::new(self.next_delivery.value() - 1);
@@ -487,7 +492,8 @@ impl PbftInstance {
             self.stable_checkpoint = Some(sn);
             // Garbage-collect delivered slots covered by the checkpoint and
             // stale checkpoint tallies.
-            self.slots.retain(|slot_sn, slot| *slot_sn > sn || !slot.delivered);
+            self.slots
+                .retain(|slot_sn, slot| *slot_sn > sn || !slot.delivered);
             self.checkpoint_votes.retain(|vote_sn, _| *vote_sn > sn);
             sink.stable_checkpoint(sn);
         }
@@ -505,7 +511,11 @@ impl PbftInstance {
             })
             .map(|(sn, slot)| PreparedProof {
                 sn: *sn,
-                block: slot.proposal.clone().expect("filtered on proposal"),
+                block: slot
+                    .proposal
+                    .as_ref()
+                    .map(Arc::clone)
+                    .expect("filtered on proposal"),
             })
             .collect()
     }
@@ -514,7 +524,11 @@ impl PbftInstance {
         if target <= self.view && self.in_view_change {
             return;
         }
-        let target = if target > self.view { target } else { self.view.next() };
+        let target = if target > self.view {
+            target
+        } else {
+            self.view.next()
+        };
         self.view = target;
         self.in_view_change = true;
         self.last_progress = now;
@@ -584,15 +598,19 @@ impl PbftInstance {
         votes.insert(voter, prepared);
         let have = votes.len();
         let i_am_new_leader = self.cfg.leader_of(new_view) == self.cfg.me;
-        if i_am_new_leader && have >= self.cfg.quorum() && (self.in_view_change || new_view > self.view)
+        if i_am_new_leader
+            && have >= self.cfg.quorum()
+            && (self.in_view_change || new_view > self.view)
         {
             // Collect the highest prepared block per sequence number from the
             // quorum of view-change votes.
-            let mut reproposals: BTreeMap<SeqNum, Block> = BTreeMap::new();
+            let mut reproposals: BTreeMap<SeqNum, SharedBlock> = BTreeMap::new();
             if let Some(votes) = self.view_change_votes.get(&new_view) {
                 for proofs in votes.values() {
                     for proof in proofs {
-                        reproposals.entry(proof.sn).or_insert_with(|| proof.block.clone());
+                        reproposals
+                            .entry(proof.sn)
+                            .or_insert_with(|| Arc::clone(&proof.block));
                     }
                 }
             }
@@ -601,7 +619,7 @@ impl PbftInstance {
                 .get(&new_view)
                 .map(|v| v.keys().copied().collect())
                 .unwrap_or_default();
-            let reproposals: Vec<Block> = reproposals.into_values().collect();
+            let reproposals: Vec<SharedBlock> = reproposals.into_values().collect();
             sink.broadcast(SbMessage::NewView {
                 instance: self.cfg.instance,
                 new_view,
@@ -616,7 +634,7 @@ impl PbftInstance {
         &mut self,
         from: ReplicaId,
         new_view: View,
-        reproposals: Vec<Block>,
+        reproposals: Vec<SharedBlock>,
         now: SimTime,
         sink: &mut ActionSink,
     ) {
@@ -632,7 +650,7 @@ impl PbftInstance {
     fn enter_new_view(
         &mut self,
         new_view: View,
-        reproposals: Vec<Block>,
+        reproposals: Vec<SharedBlock>,
         now: SimTime,
         sink: &mut ActionSink,
     ) {
@@ -646,7 +664,9 @@ impl PbftInstance {
         // re-proposed (either from the carried reproposals or from the new
         // leader's bucket).
         self.slots.retain(|sn, slot| {
-            *sn < self.next_delivery || slot.delivered || (slot.sent_commit && slot.commits.len() >= self.cfg.quorum())
+            *sn < self.next_delivery
+                || slot.delivered
+                || (slot.sent_commit && slot.commits.len() >= self.cfg.quorum())
         });
 
         let mut highest = self.next_delivery;
@@ -702,7 +722,9 @@ impl PbftInstance {
 mod tests {
     use super::*;
     use crate::cluster::LocalCluster;
-    use orthrus_types::{BlockParams, ClientId, Epoch, Rank, SystemState, Transaction, TxId};
+    use orthrus_types::{
+        Block, BlockParams, ClientId, Epoch, Rank, SystemState, Transaction, TxId,
+    };
 
     fn cfg(me: u32, n: u32) -> PbftConfig {
         PbftConfig {
@@ -713,7 +735,7 @@ mod tests {
         }
     }
 
-    fn make_block(instance: u32, sn: u64, view: u64, proposer: u32, ntx: u64) -> Block {
+    fn make_block(instance: u32, sn: u64, view: u64, proposer: u32, ntx: u64) -> SharedBlock {
         let txs: Vec<Transaction> = (0..ntx)
             .map(|i| {
                 Transaction::payment(
@@ -724,7 +746,7 @@ mod tests {
                 )
             })
             .collect();
-        Block::new(
+        Arc::new(Block::new(
             BlockParams {
                 instance: InstanceId::new(instance),
                 sn: SeqNum::new(sn),
@@ -735,7 +757,7 @@ mod tests {
                 state: SystemState::new(4),
             },
             txs,
-        )
+        ))
     }
 
     #[test]
@@ -774,7 +796,7 @@ mod tests {
     fn four_replicas_deliver_a_block() {
         let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 4);
         let block = make_block(0, 0, 0, 0, 3);
-        cluster.propose(ReplicaId::new(0), block.clone());
+        cluster.propose(ReplicaId::new(0), Arc::clone(&block));
         cluster.run();
         for r in 0..4 {
             let delivered = cluster.delivered(ReplicaId::new(r));
@@ -825,12 +847,16 @@ mod tests {
         cluster.inject(
             ReplicaId::new(0),
             vec![ReplicaId::new(1), ReplicaId::new(2)],
-            SbMessage::PrePrepare { block: block_a.clone() },
+            SbMessage::PrePrepare {
+                block: Arc::clone(&block_a),
+            },
         );
         cluster.inject(
             ReplicaId::new(0),
             vec![ReplicaId::new(3)],
-            SbMessage::PrePrepare { block: block_b.clone() },
+            SbMessage::PrePrepare {
+                block: Arc::clone(&block_b),
+            },
         );
         cluster.run();
         // At most one of the two digests may be delivered, and every replica
@@ -873,7 +899,7 @@ mod tests {
         let block = make_block(0, 0, 0, 0, 1);
         // Run the normal case only up to the prepare phase at replicas 1..3:
         // deliver the pre-prepare and prepares but drop all commit messages.
-        cluster.propose(ReplicaId::new(0), block.clone());
+        cluster.propose(ReplicaId::new(0), Arc::clone(&block));
         cluster.run_dropping(|msg| matches!(msg, SbMessage::Commit { .. }));
         // Nothing delivered yet.
         for r in 0..4 {

@@ -4,8 +4,8 @@
 
 use crate::node::NodeId;
 use crate::stats::StatsCollector;
+use orthrus_types::rng::StdRng;
 use orthrus_types::{Duration, SimTime};
-use rand::rngs::StdRng;
 use std::any::Any;
 use std::collections::HashSet;
 
@@ -72,15 +72,26 @@ impl<'a, M> Context<'a, M> {
         self.outbox.push((to, msg));
     }
 
-    /// Send the same (cloneable) message to every node in `targets`.
+    /// Send the same message to every node in `targets`.
+    ///
+    /// With `Arc`-backed message payloads (the workspace's convention — see
+    /// `ARCHITECTURE.md`) each per-recipient clone is a reference-count bump,
+    /// and the original is *moved* to the final recipient, so an `n`-way
+    /// broadcast performs `n - 1` cheap clones and zero deep copies.
     pub fn multicast<I>(&mut self, targets: I, msg: M)
     where
         M: Clone,
         I: IntoIterator<Item = NodeId>,
     {
-        for target in targets {
-            self.outbox.push((target, msg.clone()));
+        let mut iter = targets.into_iter();
+        let Some(mut current) = iter.next() else {
+            return;
+        };
+        for next in iter {
+            self.outbox.push((current, msg.clone()));
+            current = next;
         }
+        self.outbox.push((current, msg));
     }
 
     /// Arm a timer that fires after `delay` with the given `tag`. Returns a
@@ -114,8 +125,9 @@ impl<'a, M> Context<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use orthrus_types::rng::Rng;
 
+    #[allow(clippy::type_complexity)]
     fn make_parts() -> (
         StdRng,
         StatsCollector,

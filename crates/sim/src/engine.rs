@@ -18,27 +18,16 @@ use crate::faults::FaultPlan;
 use crate::network::NetworkConfig;
 use crate::node::{NodeId, Payload};
 use crate::stats::StatsCollector;
+use orthrus_types::rng::StdRng;
 use orthrus_types::{Duration, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// Internal events moved through the queue.
 enum EngineEvent<M> {
-    Start {
-        node: NodeId,
-    },
-    Deliver {
-        from: NodeId,
-        to: NodeId,
-        msg: M,
-    },
-    Timer {
-        node: NodeId,
-        id: TimerId,
-        tag: u64,
-    },
+    Start { node: NodeId },
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
 }
 
 /// Summary of a completed (or budget-limited) simulation run.
@@ -114,7 +103,8 @@ impl<M: Payload + 'static> Simulation<M> {
         let node_seed = self.seed ^ hasher.finish();
         self.rngs.insert(id, StdRng::seed_from_u64(node_seed));
         self.actors.insert(id, actor);
-        self.queue.schedule(self.now, EngineEvent::Start { node: id });
+        self.queue
+            .schedule(self.now, EngineEvent::Start { node: id });
     }
 
     /// Current virtual time.
@@ -175,7 +165,7 @@ impl<M: Payload + 'static> Simulation<M> {
         // Even if no event landed exactly on the deadline, the run covers the
         // full interval (unless the caller asked for "run forever", in which
         // case the clock stays at the last event).
-        if deadline.0 != u64::MAX && self.queue.peek_time().map_or(true, |t| t > deadline) {
+        if deadline.0 != u64::MAX && self.queue.peek_time().is_none_or(|t| t > deadline) {
             self.now = self.now.max(deadline);
         }
         self.report()
@@ -215,6 +205,7 @@ impl<M: Payload + 'static> Simulation<M> {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn dispatch(&mut self, event: EngineEvent<M>) {
         let (node, from, msg, timer): (NodeId, Option<NodeId>, Option<M>, Option<(TimerId, u64)>) =
             match event {
@@ -262,10 +253,8 @@ impl<M: Payload + 'static> Simulation<M> {
 
         // Apply buffered timer requests.
         for (delay, tag, id) in timer_requests {
-            self.queue.schedule(
-                self.now + delay,
-                EngineEvent::Timer { node, id, tag },
-            );
+            self.queue
+                .schedule(self.now + delay, EngineEvent::Timer { node, id, tag });
         }
         // Apply buffered sends through the network model.
         self.deliver_outbox(node, outbox);
@@ -283,10 +272,7 @@ impl<M: Payload + 'static> Simulation<M> {
             self.stats.messages_sent += 1;
             self.stats.bytes_sent += bytes;
 
-            let processing = self
-                .network
-                .processing_per_message
-                .mul_f64(slow_from);
+            let processing = self.network.processing_per_message.mul_f64(slow_from);
             let ready = self.now + processing;
 
             // Per-sender NIC: messages serialize one after another.
@@ -296,11 +282,11 @@ impl<M: Payload + 'static> Simulation<M> {
             let done = start + serialization;
             self.nic_free.insert(from, done);
 
-            let rng = self
-                .rngs
-                .get_mut(&from)
-                .expect("sender has an rng stream");
-            let propagation = self.network.sample_latency(from, to, rng).mul_f64(slow_from);
+            let rng = self.rngs.get_mut(&from).expect("sender has an rng stream");
+            let propagation = self
+                .network
+                .sample_latency(from, to, rng)
+                .mul_f64(slow_from);
             let recv_processing = self
                 .network
                 .processing_per_message
@@ -344,7 +330,13 @@ mod tests {
     impl Actor<Ping> for Bouncer {
         fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
             if self.start_pings {
-                ctx.send(self.peer, Ping { hops: 0, bytes: 100 });
+                ctx.send(
+                    self.peer,
+                    Ping {
+                        hops: 0,
+                        bytes: 100,
+                    },
+                );
             }
         }
 
@@ -531,8 +523,18 @@ mod tests {
         }
         let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::lan(), 5);
         sim.set_max_events(500);
-        sim.add_actor(NodeId::replica(0), Box::new(Forever { peer: NodeId::replica(1) }));
-        sim.add_actor(NodeId::replica(1), Box::new(Forever { peer: NodeId::replica(0) }));
+        sim.add_actor(
+            NodeId::replica(0),
+            Box::new(Forever {
+                peer: NodeId::replica(1),
+            }),
+        );
+        sim.add_actor(
+            NodeId::replica(1),
+            Box::new(Forever {
+                peer: NodeId::replica(0),
+            }),
+        );
         let report = sim.run_to_completion();
         assert_eq!(report.events_processed, 500);
     }
@@ -546,8 +548,20 @@ mod tests {
         }
         impl Actor<Ping> for Burst {
             fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
-                ctx.send(self.peer, Ping { hops: 0, bytes: 2_000_000 });
-                ctx.send(self.peer, Ping { hops: 1, bytes: 2_000_000 });
+                ctx.send(
+                    self.peer,
+                    Ping {
+                        hops: 0,
+                        bytes: 2_000_000,
+                    },
+                );
+                ctx.send(
+                    self.peer,
+                    Ping {
+                        hops: 1,
+                        bytes: 2_000_000,
+                    },
+                );
             }
             fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
             fn as_any(&self) -> &dyn Any {
@@ -569,7 +583,12 @@ mod tests {
         let a = NodeId::replica(0);
         let b = NodeId::replica(1);
         sim.add_actor(a, Box::new(Burst { peer: b }));
-        sim.add_actor(b, Box::new(Sink { arrivals: Vec::new() }));
+        sim.add_actor(
+            b,
+            Box::new(Sink {
+                arrivals: Vec::new(),
+            }),
+        );
         sim.run_to_completion();
         let sink: &Sink = sim.actor_as(b).unwrap();
         assert_eq!(sink.arrivals.len(), 2);

@@ -15,10 +15,9 @@
 //!   and the harness can find them.
 
 use orthrus_types::{ReplicaId, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A straggler: a replica whose processing and links are `factor`× slower.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StragglerSpec {
     /// The slow replica.
     pub replica: ReplicaId,
@@ -37,7 +36,7 @@ impl StragglerSpec {
 }
 
 /// A crash fault: the replica stops sending and receiving at `at`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashSpec {
     /// The crashing replica.
     pub replica: ReplicaId,
@@ -46,7 +45,7 @@ pub struct CrashSpec {
 }
 
 /// The complete fault plan for one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// Replicas that crash (detectable faults).
     pub crashes: Vec<CrashSpec>,

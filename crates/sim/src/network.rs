@@ -10,12 +10,11 @@
 //! longest path, intra-region is sub-millisecond).
 
 use crate::node::NodeId;
+use orthrus_types::rng::Rng;
 use orthrus_types::{Duration, NetworkKind};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Geographic region hosting a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// Paris (eu-west-3).
     France,
@@ -51,10 +50,10 @@ impl Region {
 /// typical public inter-region RTT measurements (half of RTT), rounded.
 const WAN_ONE_WAY_MS: [[u64; 4]; 4] = [
     // France   US    Australia  Tokyo
-    [1, 40, 140, 110],  // France
-    [40, 1, 100, 75],   // United States
-    [140, 100, 1, 55],  // Australia
-    [110, 75, 55, 1],   // Tokyo
+    [1, 40, 140, 110], // France
+    [40, 1, 100, 75],  // United States
+    [140, 100, 1, 55], // Australia
+    [110, 75, 55, 1],  // Tokyo
 ];
 
 /// One-way delay inside a LAN (same data centre).
@@ -62,7 +61,7 @@ const LAN_ONE_WAY_US: u64 = 250;
 
 /// Network configuration: topology kind, bandwidth, jitter and per-message
 /// processing cost.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkConfig {
     /// LAN or WAN topology.
     pub kind: NetworkKind,
@@ -172,10 +171,10 @@ impl NetworkConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use orthrus_types::rng::StdRng;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn wan_matrix_is_symmetric_and_plausible() {
         for i in 0..4 {
             for j in 0..4 {
@@ -237,9 +236,9 @@ mod tests {
             .base_latency(NodeId::replica(0), NodeId::replica(1))
             .as_micros() as f64;
         for _ in 0..200 {
-            let sampled =
-                net.sample_latency(NodeId::replica(0), NodeId::replica(1), &mut rng).as_micros()
-                    as f64;
+            let sampled = net
+                .sample_latency(NodeId::replica(0), NodeId::replica(1), &mut rng)
+                .as_micros() as f64;
             assert!(sampled >= base * 0.94 && sampled <= base * 1.06);
         }
     }
@@ -256,7 +255,13 @@ mod tests {
 
     #[test]
     fn for_kind_dispatch() {
-        assert_eq!(NetworkConfig::for_kind(NetworkKind::Lan), NetworkConfig::lan());
-        assert_eq!(NetworkConfig::for_kind(NetworkKind::Wan), NetworkConfig::wan());
+        assert_eq!(
+            NetworkConfig::for_kind(NetworkKind::Lan),
+            NetworkConfig::lan()
+        );
+        assert_eq!(
+            NetworkConfig::for_kind(NetworkKind::Wan),
+            NetworkConfig::wan()
+        );
     }
 }

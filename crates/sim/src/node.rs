@@ -1,12 +1,11 @@
 //! Node identifiers and message payload sizing.
 
 use orthrus_types::{ClientId, ReplicaId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node participating in the simulation: either a consensus
 /// replica or a client submitting transactions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NodeId {
     /// A consensus replica.
     Replica(ReplicaId),

@@ -12,11 +12,10 @@
 //!   (Fig. 7).
 
 use orthrus_types::{Duration, SimTime, TxId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The processing stages a transaction passes through (paper §VII-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LatencyStage {
     /// Client sent the transaction → first replica received it.
     Send,
@@ -65,7 +64,7 @@ impl LatencyStage {
 }
 
 /// Per-transaction timing record.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct TxRecord {
     submitted: Option<SimTime>,
     /// First time each stage completed (indexed by [`LatencyStage::index`]).
@@ -75,7 +74,7 @@ struct TxRecord {
 }
 
 /// One point of a throughput or latency time series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThroughputPoint {
     /// End of the measurement bucket, in seconds of virtual time.
     pub time_s: f64,
@@ -85,7 +84,7 @@ pub struct ThroughputPoint {
 }
 
 /// Average time spent in each stage (Fig. 6 / Fig. 1b).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyBreakdown {
     /// Average sending delay.
     pub send: Duration,
@@ -341,13 +340,7 @@ impl StatsCollector {
                 prev = end;
             }
         }
-        let avg = |idx: usize| {
-            if count == 0 {
-                Duration::ZERO
-            } else {
-                Duration::from_micros(sums[idx] / count)
-            }
-        };
+        let avg = |idx: usize| Duration::from_micros(sums[idx].checked_div(count).unwrap_or(0));
         LatencyBreakdown {
             send: avg(0),
             preprocess: avg(1),
@@ -478,7 +471,9 @@ mod tests {
         assert_eq!(s.confirmed_count(), 0);
         assert_eq!(s.average_latency(), Duration::ZERO);
         assert_eq!(s.throughput_ktps(), 0.0);
-        assert!(s.throughput_timeseries(Duration::from_millis(500)).is_empty());
+        assert!(s
+            .throughput_timeseries(Duration::from_millis(500))
+            .is_empty());
         assert!(s.latency_timeseries(Duration::from_millis(500)).is_empty());
         assert_eq!(s.latency_percentile(0.5), Duration::ZERO);
     }

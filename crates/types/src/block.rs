@@ -6,20 +6,34 @@
 //! signature. For the dynamic global ordering algorithm (Ladon, Appendix A)
 //! the block additionally carries a `rank`; pre-determined orderings ignore
 //! it.
+//!
+//! # Ownership and sharing
+//!
+//! Blocks travel through the message fabric as [`SharedBlock`]
+//! (`Arc<Block>`): broadcasting to `n - 1` replicas, buffering in PBFT slots,
+//! and inserting into partial/global logs all share one allocation instead of
+//! deep-copying the transaction batch. The batch itself holds
+//! [`SharedTx`](crate::transaction::SharedTx) handles, so a transaction's
+//! payload exists once per process no matter how many buckets, blocks and
+//! logs reference it. Blocks are immutable after construction; the header
+//! digest is computed once and memoized (tamper checks in [`Block::verify`]
+//! deliberately bypass the memo and recompute from the contents).
 
 use crate::crypto::{Digest, KeyPair, Signature};
 use crate::ids::{Epoch, InstanceId, Rank, ReplicaId, SeqNum, View};
 use crate::state::SystemState;
-use crate::transaction::Transaction;
-use serde::{Deserialize, Serialize};
+use crate::transaction::{SharedTx, Transaction};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// A reference-counted handle to an immutable block, the unit the message
+/// fabric moves around. Cloning is an atomic increment, never a deep copy.
+pub type SharedBlock = Arc<Block>;
 
 /// Identifier of a block: the instance it belongs to and its sequence number
 /// within that instance. With the agreement property of sequenced broadcast,
 /// all honest replicas associate the same block contents with a given id.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId {
     /// SB instance that produced the block.
     pub instance: InstanceId,
@@ -42,7 +56,7 @@ impl fmt::Display for BlockId {
 }
 
 /// The header of a block: everything except the transaction batch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockHeader {
     /// Instance the block belongs to (`ins`).
     pub instance: InstanceId,
@@ -68,11 +82,41 @@ pub struct BlockHeader {
     /// For DQBFT's dedicated ordering instance: the ids of data blocks whose
     /// global order this block decides. Empty for ordinary data blocks.
     pub ordered_ids: Vec<BlockId>,
+    /// Memoized header digest. Headers are immutable once signed, so every
+    /// `digest()` call after the first is a load instead of a hash of the
+    /// whole state vector. Excluded from equality; `compute_digest` ignores
+    /// it.
+    digest_memo: OnceLock<Digest>,
 }
 
+impl PartialEq for BlockHeader {
+    fn eq(&self, other: &Self) -> bool {
+        self.instance == other.instance
+            && self.sn == other.sn
+            && self.epoch == other.epoch
+            && self.view == other.view
+            && self.proposer == other.proposer
+            && self.rank == other.rank
+            && self.state == other.state
+            && self.payload_digest == other.payload_digest
+            && self.no_op == other.no_op
+            && self.ordered_ids == other.ordered_ids
+    }
+}
+
+impl Eq for BlockHeader {}
+
 impl BlockHeader {
-    /// Digest of the header (what the leader signs).
+    /// Digest of the header (what the leader signs). Memoized: the first call
+    /// hashes the header contents, later calls return the cached value.
     pub fn digest(&self) -> Digest {
+        *self.digest_memo.get_or_init(|| self.compute_digest())
+    }
+
+    /// Recompute the digest from the header contents, bypassing the memo.
+    /// Verification paths use this so that a tampered header can never hide
+    /// behind a digest cached before the tampering.
+    pub fn compute_digest(&self) -> Digest {
         Digest::of(&(
             self.instance,
             self.sn,
@@ -95,12 +139,13 @@ impl BlockHeader {
 }
 
 /// A block: header, transaction batch and the proposer's signature.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// Header fields.
     pub header: BlockHeader,
-    /// Batch of transactions (`txs`).
-    pub txs: Vec<Transaction>,
+    /// Batch of transactions (`txs`). Each entry is a shared handle — the
+    /// same `Arc` the client request arrived in and the bucket stored.
+    pub txs: Vec<SharedTx>,
     /// Proposer's signature over the header digest (`σ`).
     pub signature: Signature,
 }
@@ -125,8 +170,12 @@ pub struct BlockParams {
 }
 
 impl Block {
-    /// Build and sign a block containing `txs`.
-    pub fn new(params: BlockParams, txs: Vec<Transaction>) -> Self {
+    fn build(
+        params: BlockParams,
+        txs: Vec<SharedTx>,
+        no_op: bool,
+        ordered_ids: Vec<BlockId>,
+    ) -> Self {
         let payload_digest = Self::payload_digest(&txs);
         let header = BlockHeader {
             instance: params.instance,
@@ -137,10 +186,11 @@ impl Block {
             rank: params.rank,
             state: params.state,
             payload_digest,
-            no_op: false,
-            ordered_ids: Vec::new(),
+            no_op,
+            ordered_ids,
+            digest_memo: OnceLock::new(),
         };
-        let signature = KeyPair::for_replica(params.proposer).sign(header.digest());
+        let signature = KeyPair::for_replica(header.proposer).sign(header.digest());
         Self {
             header,
             txs,
@@ -148,58 +198,39 @@ impl Block {
         }
     }
 
+    /// Build and sign a block containing `txs` (owned transactions are
+    /// wrapped into shared handles; leaders that already hold shared handles
+    /// use [`Block::from_shared`] instead, which copies nothing).
+    pub fn new(params: BlockParams, txs: Vec<Transaction>) -> Self {
+        Self::from_shared(params, txs.into_iter().map(Arc::new).collect())
+    }
+
+    /// Build and sign a block from already-shared transactions. This is the
+    /// leader's hot path: the batch is assembled from the bucket's `Arc`
+    /// handles without copying any transaction payload.
+    pub fn from_shared(params: BlockParams, txs: Vec<SharedTx>) -> Self {
+        Self::build(params, txs, false, Vec::new())
+    }
+
     /// Build and sign an empty no-op block (used by ISS-style protocols to
     /// fill their pre-determined global log and by recovery paths).
     pub fn no_op(params: BlockParams) -> Self {
-        let payload_digest = Digest::EMPTY;
-        let header = BlockHeader {
-            instance: params.instance,
-            sn: params.sn,
-            epoch: params.epoch,
-            view: params.view,
-            proposer: params.proposer,
-            rank: params.rank,
-            state: params.state,
-            payload_digest,
-            no_op: true,
-            ordered_ids: Vec::new(),
-        };
-        let signature = KeyPair::for_replica(params.proposer).sign(header.digest());
-        Self {
-            header,
-            txs: Vec::new(),
-            signature,
-        }
+        Self::build(params, Vec::new(), true, Vec::new())
     }
 
     /// Build and sign an ordering block for DQBFT's dedicated ordering
     /// instance: it carries no transactions, only the ids of data blocks
     /// whose global order it decides.
     pub fn ordering(params: BlockParams, ordered_ids: Vec<BlockId>) -> Self {
-        let header = BlockHeader {
-            instance: params.instance,
-            sn: params.sn,
-            epoch: params.epoch,
-            view: params.view,
-            proposer: params.proposer,
-            rank: params.rank,
-            state: params.state,
-            payload_digest: Digest::EMPTY,
-            no_op: true,
-            ordered_ids,
-        };
-        let signature = KeyPair::for_replica(params.proposer).sign(header.digest());
-        Self {
-            header,
-            txs: Vec::new(),
-            signature,
-        }
+        Self::build(params, Vec::new(), true, ordered_ids)
     }
 
-    /// Digest of a transaction batch.
-    pub fn payload_digest(txs: &[Transaction]) -> Digest {
+    /// Digest of a transaction batch. Per-transaction digests are memoized on
+    /// the transactions themselves, so recomputing a batch digest over shared
+    /// handles hashes only the combination, not the payloads.
+    pub fn payload_digest(txs: &[SharedTx]) -> Digest {
         txs.iter()
-            .map(Transaction::digest)
+            .map(|tx| tx.digest())
             .fold(Digest::EMPTY, Digest::combine)
     }
 
@@ -209,7 +240,7 @@ impl Block {
         self.header.id()
     }
 
-    /// The header digest (what was signed).
+    /// The header digest (what was signed). Memoized on the header.
     #[inline]
     pub fn digest(&self) -> Digest {
         self.header.digest()
@@ -241,16 +272,25 @@ impl Block {
 
     /// Verify the block's integrity: the proposer's signature covers the
     /// header, and the header's payload digest matches the batch.
+    ///
+    /// Both digests are recomputed from the contents (bypassing the memo and
+    /// each transaction's cached digest), so tampering after construction is
+    /// always detected.
     pub fn verify(&self) -> crate::error::Result<()> {
         use crate::error::OrthrusError;
-        if Self::payload_digest(&self.txs) != self.header.payload_digest {
+        let fresh_payload = self
+            .txs
+            .iter()
+            .map(|tx| tx.compute_digest())
+            .fold(Digest::EMPTY, Digest::combine);
+        if fresh_payload != self.header.payload_digest {
             return Err(OrthrusError::InvalidBlock {
                 id: self.id(),
                 reason: "payload digest mismatch".into(),
             });
         }
         if self.signature.signer != KeyPair::for_replica(self.header.proposer).public
-            || !self.signature.verify(self.header.digest())
+            || !self.signature.verify(self.header.compute_digest())
         {
             return Err(OrthrusError::InvalidBlock {
                 id: self.id(),
@@ -330,6 +370,16 @@ mod tests {
     }
 
     #[test]
+    fn tampering_after_digest_was_cached_is_still_detected() {
+        let mut b = Block::new(params(0, 0, 0), sample_txs(3));
+        // Prime the memo, then tamper: verification recomputes from contents
+        // and must not be fooled by the stale cached digest.
+        let _ = b.digest();
+        b.header.rank = Rank::new(999);
+        assert!(b.verify().is_err());
+    }
+
+    #[test]
     fn forged_proposer_is_detected() {
         let mut b = Block::new(params(0, 0, 0), sample_txs(1));
         // Claim the block was proposed by replica 5 while keeping replica 0's
@@ -367,6 +417,29 @@ mod tests {
         let large = Block::new(params(0, 1, 0), sample_txs(10));
         assert!(large.wire_bytes() > small.wire_bytes());
         assert_eq!(Block::no_op(params(0, 2, 0)).wire_bytes(), 256);
+    }
+
+    #[test]
+    fn shared_construction_copies_no_transactions() {
+        let txs: Vec<SharedTx> = sample_txs(4).into_iter().map(Arc::new).collect();
+        let handles: Vec<SharedTx> = txs.iter().map(Arc::clone).collect();
+        let b = Block::from_shared(params(0, 0, 0), handles);
+        for (original, in_block) in txs.iter().zip(b.txs.iter()) {
+            assert!(Arc::ptr_eq(original, in_block));
+        }
+        assert!(b.verify().is_ok());
+    }
+
+    #[test]
+    fn digest_is_memoized_and_stable() {
+        let b = Block::new(params(0, 1, 0), sample_txs(3));
+        let first = b.digest();
+        assert_eq!(first, b.digest());
+        assert_eq!(first, b.header.compute_digest());
+        // A shared handle observes the same memoized value.
+        let shared: SharedBlock = Arc::new(b);
+        assert_eq!(shared.digest(), first);
+        assert_eq!(Arc::clone(&shared).digest(), first);
     }
 
     #[test]

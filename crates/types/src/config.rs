@@ -3,14 +3,13 @@
 
 use crate::error::{OrthrusError, Result};
 use crate::time::Duration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which Multi-BFT protocol a replica runs. All protocols share the same
 /// chassis (partition → SB instances → ordering → execution) and differ in
 /// their global ordering / execution policy, mirroring the paper's
 /// methodology of building every comparator on the ISS platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// Orthrus: partial ordering fast path for payments + Ladon-style dynamic
     /// global ordering for contract transactions + escrow (this paper).
@@ -73,7 +72,7 @@ impl fmt::Display for ProtocolKind {
 }
 
 /// Which network environment the evaluation runs in (paper §VII-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkKind {
     /// Single data centre, 1 Gbps links, sub-millisecond latency.
     Lan,
@@ -91,7 +90,7 @@ impl fmt::Display for NetworkKind {
 }
 
 /// Configuration of a Multi-BFT deployment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolConfig {
     /// Number of replicas `n`.
     pub num_replicas: u32,

@@ -21,14 +21,11 @@
 //! would be a local change.
 
 use crate::ids::ReplicaId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// A 64-bit content digest.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Digest(pub u64);
 
 impl Digest {
@@ -105,7 +102,7 @@ impl Hasher for FnvHasher {
 
 /// A public key. In the simulation the key is derived deterministically from
 /// the owner identifier, so the PKI needs no setup phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PublicKey {
     /// Owner of the key (replica or client address space).
     pub owner: u64,
@@ -113,7 +110,7 @@ pub struct PublicKey {
 }
 
 /// A key pair (public + "secret" component).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KeyPair {
     /// The public half.
     pub public: PublicKey,
@@ -142,7 +139,10 @@ impl KeyPair {
         let secret = z ^ (z >> 31);
         let key_material = secret.rotate_left(17) ^ 0xA5A5_A5A5_5A5A_5A5A;
         Self {
-            public: PublicKey { owner, key_material },
+            public: PublicKey {
+                owner,
+                key_material,
+            },
             secret,
         }
     }
@@ -164,7 +164,7 @@ impl KeyPair {
 }
 
 /// A signature over a digest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
     /// Public key of the signer.
     pub signer: PublicKey,

@@ -91,7 +91,10 @@ impl fmt::Display for OrthrusError {
                 write!(f, "type mismatch on {object}: {reason}")
             }
             OrthrusError::SequenceOutOfEpoch { instance, sn } => {
-                write!(f, "sequence number {sn} outside current epoch of {instance}")
+                write!(
+                    f,
+                    "sequence number {sn} outside current epoch of {instance}"
+                )
             }
             OrthrusError::Config(reason) => write!(f, "invalid configuration: {reason}"),
             OrthrusError::SimulationBudgetExhausted { reason } => {

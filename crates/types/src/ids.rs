@@ -5,14 +5,13 @@
 //! numbers inside an instance, epochs, PBFT views and Ladon ranks. Each gets
 //! a newtype so the compiler keeps the different number spaces apart.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident, $inner:ty) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
         )]
         pub struct $name(pub $inner);
 
@@ -112,9 +111,7 @@ id_newtype!(
 /// In the paper a transaction carries an application-level `id`; in the
 /// reproduction the identifier combines the submitting client and a
 /// client-local sequence number, which keeps ids unique without coordination.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TxId {
     /// Client that created the transaction.
     pub client: ClientId,
@@ -139,9 +136,7 @@ impl fmt::Display for TxId {
 /// Key of an object (§III-B): a cryptographically unique identifier. For
 /// owned objects (accounts) the key is the owner's address; for shared
 /// objects it identifies a smart-contract record.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ObjectKey(pub u64);
 
 impl ObjectKey {

@@ -18,6 +18,9 @@
 //! * [`state`] — the Multi-BFT system state `S = (sn_0, …, sn_{m-1})`.
 //! * [`config`] — protocol-level configuration shared by all protocols.
 //! * [`time`] — virtual time used by the discrete-event simulation.
+//! * [`rng`] — deterministic pseudo-random number generation (the workspace
+//!   builds offline, so it carries its own seeded generator instead of
+//!   depending on the `rand` crate).
 //! * [`error`] — the common error type.
 
 #![deny(unsafe_code)]
@@ -29,11 +32,12 @@ pub mod crypto;
 pub mod error;
 pub mod ids;
 pub mod object;
+pub mod rng;
 pub mod state;
 pub mod time;
 pub mod transaction;
 
-pub use block::{Block, BlockHeader, BlockId, BlockParams};
+pub use block::{Block, BlockHeader, BlockId, BlockParams, SharedBlock};
 pub use config::{NetworkKind, ProtocolConfig, ProtocolKind};
 pub use crypto::{Digest, KeyPair, PublicKey, Signature};
 pub use error::{OrthrusError, Result};
@@ -41,4 +45,4 @@ pub use ids::{ClientId, Epoch, InstanceId, ObjectKey, Rank, ReplicaId, SeqNum, T
 pub use object::{Amount, Condition, ObjectOp, ObjectType, Operation, Value};
 pub use state::SystemState;
 pub use time::{Duration, SimTime};
-pub use transaction::{Transaction, TxKind};
+pub use transaction::{SharedTx, Transaction, TxKind};

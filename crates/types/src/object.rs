@@ -13,7 +13,6 @@
 //! [`ObjectOp`]).
 
 use crate::ids::ObjectKey;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Token amounts held by owned objects (account balances).
@@ -23,7 +22,7 @@ pub type Amount = u64;
 pub type Value = i64;
 
 /// Whether an object is owned (an account) or shared (a contract record).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObjectType {
     /// Owned object: has a specific owner; decremental operations require the
     /// owner's signature. Example: Alice's account balance.
@@ -40,7 +39,7 @@ pub enum ObjectType {
 /// (§II-A): credits always commute, and debits on *different* accounts
 /// commute. The remaining operations model contract behaviour on shared
 /// objects and are non-commutative in general (§II-B, Observation 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operation {
     /// Incremental operation: add `amount` tokens to an owned object.
     Credit(Amount),
@@ -105,7 +104,7 @@ impl fmt::Display for Operation {
 
 /// The condition (`con` in the paper) that must be satisfied after executing
 /// an operation on the object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Condition {
     /// No condition: the operation always succeeds.
     #[default]
@@ -129,7 +128,7 @@ impl Condition {
 
 /// One entry of a transaction's object set: which object, what type it has,
 /// which operation to apply and which condition must hold afterwards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ObjectOp {
     /// Key of the object being touched.
     pub key: ObjectKey,

@@ -10,7 +10,6 @@
 //! Bob).
 
 use crate::ids::{InstanceId, SeqNum};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-instance high-water marks of delivered sequence numbers.
@@ -18,7 +17,7 @@ use std::fmt;
 /// `None` (⊥ in the paper) means the instance has not delivered any block
 /// yet; `Some(sn)` means blocks `0..=sn` of that instance have been
 /// delivered.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SystemState {
     delivered: Vec<Option<SeqNum>>,
 }

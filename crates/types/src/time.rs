@@ -7,20 +7,15 @@
 //! than fine-grained enough for millisecond-scale network latencies while
 //! keeping arithmetic exact.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time (microseconds since the start of the simulation).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time (microseconds).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(pub u64);
 
 impl SimTime {
@@ -194,7 +189,10 @@ mod tests {
         assert_eq!(t - SimTime::from_secs(1), Duration::from_millis(500));
         // Subtraction saturates rather than panicking: elapsed time queries
         // against a future timestamp yield zero.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(2), Duration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(2),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -206,8 +204,14 @@ mod tests {
 
     #[test]
     fn straggler_scaling() {
-        assert_eq!(Duration::from_millis(10).mul_f64(10.0), Duration::from_millis(100));
-        assert_eq!(Duration::from_millis(10).mul_f64(0.5), Duration::from_millis(5));
+        assert_eq!(
+            Duration::from_millis(10).mul_f64(10.0),
+            Duration::from_millis(100)
+        );
+        assert_eq!(
+            Duration::from_millis(10).mul_f64(0.5),
+            Duration::from_millis(5)
+        );
     }
 
     #[test]

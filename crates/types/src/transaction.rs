@@ -16,11 +16,18 @@
 use crate::crypto::{Digest, KeyPair, Signature};
 use crate::ids::{ClientId, ObjectKey, TxId};
 use crate::object::{Amount, ObjectOp, Operation};
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// A reference-counted handle to an immutable transaction.
+///
+/// A transaction enters the system once (at the client) and is then
+/// referenced — by buckets, blocks, partial logs and the global log — through
+/// this shared handle; no layer copies the payload.
+pub type SharedTx = Arc<Transaction>;
 
 /// The category of a transaction, which determines its confirmation path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TxKind {
     /// Conflict-free transfer between owned objects; confirmed via partial
     /// ordering (the fast path).
@@ -31,7 +38,7 @@ pub enum TxKind {
 }
 
 /// A transaction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Transaction {
     /// Unique identifier (client id + client-local sequence number).
     pub id: TxId,
@@ -45,7 +52,22 @@ pub struct Transaction {
     /// Size of the client payload in bytes. The paper's evaluation uses
     /// 500-byte payloads; the network model charges bandwidth per byte.
     pub payload_bytes: u32,
+    /// Memoized content digest: computed on first use, shared by every holder
+    /// of the same [`SharedTx`] handle. Excluded from equality.
+    digest_memo: OnceLock<Digest>,
 }
+
+impl PartialEq for Transaction {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.ops == other.ops
+            && self.kind == other.kind
+            && self.signatures == other.signatures
+            && self.payload_bytes == other.payload_bytes
+    }
+}
+
+impl Eq for Transaction {}
 
 /// Default client payload size used by the paper's evaluation (§VII-A).
 pub const DEFAULT_PAYLOAD_BYTES: u32 = 500;
@@ -88,6 +110,7 @@ impl Transaction {
             kind: TxKind::Payment,
             signatures,
             payload_bytes: DEFAULT_PAYLOAD_BYTES,
+            digest_memo: OnceLock::new(),
         }
     }
 
@@ -112,11 +135,7 @@ impl Transaction {
     /// This mirrors the running example of Appendix B: "a smart contract that
     /// requires two clients to invoke it together, incurring a cost of $1 per
     /// client".
-    pub fn contract(
-        id: TxId,
-        payers: &[(ClientId, Amount)],
-        shared_ops: Vec<ObjectOp>,
-    ) -> Self {
+    pub fn contract(id: TxId, payers: &[(ClientId, Amount)], shared_ops: Vec<ObjectOp>) -> Self {
         let payers = Self::aggregate_payers(payers);
         let mut ops = Vec::with_capacity(payers.len() + shared_ops.len());
         let mut signatures = Vec::with_capacity(payers.len());
@@ -132,6 +151,7 @@ impl Transaction {
             kind: TxKind::Contract,
             signatures,
             payload_bytes: DEFAULT_PAYLOAD_BYTES,
+            digest_memo: OnceLock::new(),
         }
     }
 
@@ -151,13 +171,23 @@ impl Transaction {
             kind,
             signatures,
             payload_bytes: DEFAULT_PAYLOAD_BYTES,
+            digest_memo: OnceLock::new(),
         }
     }
 
     /// Override the payload size (bytes) carried by this transaction.
     pub fn with_payload_bytes(mut self, bytes: u32) -> Self {
         self.payload_bytes = bytes;
+        // The payload size participates in the digest; a builder-style
+        // override invalidates anything memoized on the intermediate value.
+        self.digest_memo = OnceLock::new();
         self
+    }
+
+    /// Wrap the transaction into a shared handle (the form in which it moves
+    /// through buckets, blocks and logs).
+    pub fn into_shared(self) -> SharedTx {
+        Arc::new(self)
     }
 
     /// Digest a payer's authorisation of a single debit leg.
@@ -165,8 +195,15 @@ impl Transaction {
         Digest::of(&(id, payer, amount))
     }
 
-    /// Digest of the whole transaction (used inside block digests).
+    /// Digest of the whole transaction (used inside block digests). Memoized:
+    /// every holder of the same shared handle pays the hash at most once.
     pub fn digest(&self) -> Digest {
+        *self.digest_memo.get_or_init(|| self.compute_digest())
+    }
+
+    /// Recompute the digest from the contents, bypassing the memo. Integrity
+    /// checks ([`crate::block::Block::verify`]) use this.
+    pub fn compute_digest(&self) -> Digest {
         Digest::of(&(self.id, &self.ops, self.payload_bytes))
     }
 
@@ -424,7 +461,8 @@ mod tests {
     #[test]
     fn validation_requires_an_owned_object() {
         let id = tx_id(8);
-        let tx = Transaction::from_ops(id, vec![ObjectOp::set_shared(ObjectKey::new(9), 1)], vec![]);
+        let tx =
+            Transaction::from_ops(id, vec![ObjectOp::set_shared(ObjectKey::new(9), 1)], vec![]);
         assert!(tx.validate().is_err());
     }
 

@@ -14,14 +14,12 @@
 //! * a fixed payload size per transaction (500 bytes by default).
 
 use crate::zipf::Zipf;
+use orthrus_types::rng::{Rng, StdRng};
 use orthrus_types::transaction::DEFAULT_PAYLOAD_BYTES;
-use orthrus_types::{Amount, ClientId, ObjectKey, ObjectOp, Transaction, TxId, TxKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use orthrus_types::{Amount, ClientId, ObjectKey, ObjectOp, SharedTx, Transaction, TxId, TxKind};
 
 /// Configuration of the synthetic workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// Number of client accounts (the paper's trace has 18,000 active users).
     pub num_accounts: u64,
@@ -108,8 +106,10 @@ pub struct Workload {
     pub genesis_accounts: Vec<(ObjectKey, Amount)>,
     /// Shared objects that exist at genesis (key, initial value).
     pub genesis_shared: Vec<(ObjectKey, i64)>,
-    /// The transaction trace, in submission order.
-    pub transactions: Vec<Transaction>,
+    /// The transaction trace, in submission order. Transactions are born as
+    /// shared handles: the runner, the client actors and every replica bucket
+    /// reference the same allocation.
+    pub transactions: Vec<SharedTx>,
 }
 
 impl Workload {
@@ -119,7 +119,12 @@ impl Workload {
         let popularity = Zipf::new(config.num_accounts as usize, config.zipf_exponent);
 
         let genesis_accounts: Vec<(ObjectKey, Amount)> = (0..config.num_accounts)
-            .map(|a| (ObjectKey::account_of(ClientId::new(a)), config.initial_balance))
+            .map(|a| {
+                (
+                    ObjectKey::account_of(ClientId::new(a)),
+                    config.initial_balance,
+                )
+            })
             .collect();
         let genesis_shared: Vec<(ObjectKey, i64)> = (0..config.num_shared_objects)
             .map(|i| (config.shared_object_key(i), 0))
@@ -153,8 +158,8 @@ impl Workload {
             } else {
                 // Contract call: the payer (and sometimes a co-signer) pays a
                 // fee and the contract updates one shared object.
-                let object = config
-                    .shared_object_key(rng.gen_range(0..config.num_shared_objects.max(1)));
+                let object =
+                    config.shared_object_key(rng.gen_range(0..config.num_shared_objects.max(1)));
                 let op = if rng.gen_bool(0.5) {
                     ObjectOp::set_shared(object, rng.gen_range(0..1_000))
                 } else {
@@ -172,7 +177,7 @@ impl Workload {
                     Transaction::contract(id, &[(payer, amount)], vec![op])
                 }
             };
-            transactions.push(tx.with_payload_bytes(config.payload_bytes));
+            transactions.push(tx.with_payload_bytes(config.payload_bytes).into_shared());
         }
 
         Self {
@@ -236,7 +241,6 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn generation_is_deterministic() {
@@ -255,7 +259,11 @@ mod tests {
             ..WorkloadConfig::small()
         };
         let w = Workload::generate(config.clone().with_payment_share(0.46));
-        assert!((w.payment_fraction() - 0.46).abs() < 0.05, "{}", w.payment_fraction());
+        assert!(
+            (w.payment_fraction() - 0.46).abs() < 0.05,
+            "{}",
+            w.payment_fraction()
+        );
         let all_payments = Workload::generate(config.clone().with_payment_share(1.0));
         assert_eq!(all_payments.payment_fraction(), 1.0);
         let no_payments = Workload::generate(config.with_payment_share(0.0));
@@ -315,16 +323,16 @@ mod tests {
         assert!(share > 0.2, "head share {share}");
     }
 
-    proptest! {
-        /// Whatever the configuration, generated transactions are structurally
-        /// valid, payments touch only owned objects and contracts touch at
-        /// least one shared object.
-        #[test]
-        fn prop_generated_transactions_are_well_formed(
-            share in 0.0f64..1.0,
-            multi in 0.0f64..0.5,
-            seed in 0u64..50,
-        ) {
+    /// Whatever the configuration, generated transactions are structurally
+    /// valid, payments touch only owned objects and contracts touch at least
+    /// one shared object. (Seeded-loop replacement for the former
+    /// property-based test.)
+    #[test]
+    fn generated_transactions_are_well_formed_across_configs() {
+        for seed in 0u64..30 {
+            let mut knob = StdRng::seed_from_u64(seed ^ 0xA5A5);
+            let share: f64 = knob.gen_range(0.0..1.0);
+            let multi: f64 = knob.gen_range(0.0..0.5);
             let config = WorkloadConfig {
                 payment_share: share,
                 multi_payer_share: multi,
@@ -334,14 +342,14 @@ mod tests {
             .with_seed(seed);
             let w = Workload::generate(config);
             for tx in &w.transactions {
-                prop_assert!(tx.validate().is_ok());
+                assert!(tx.validate().is_ok(), "seed {seed}");
                 match tx.kind {
                     TxKind::Payment => {
-                        prop_assert!(tx.shared_objects().count() == 0);
-                        prop_assert!(tx.total_debit() > 0);
+                        assert_eq!(tx.shared_objects().count(), 0, "seed {seed}");
+                        assert!(tx.total_debit() > 0, "seed {seed}");
                     }
                     TxKind::Contract => {
-                        prop_assert!(tx.shared_objects().count() >= 1);
+                        assert!(tx.shared_objects().count() >= 1, "seed {seed}");
                     }
                 }
             }

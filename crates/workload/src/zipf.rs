@@ -6,7 +6,7 @@
 //! Ethereum trace; our synthetic substitute (see `DESIGN.md`) reproduces the
 //! skew with a Zipf distribution over the account population.
 
-use rand::Rng;
+use orthrus_types::rng::Rng;
 
 /// Zipf distribution over `{0, 1, …, n-1}` with exponent `s`
 /// (`P(k) ∝ 1 / (k+1)^s`).
@@ -25,7 +25,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs a non-empty support");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -69,8 +72,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use orthrus_types::rng::StdRng;
 
     #[test]
     fn uniform_when_exponent_is_zero() {

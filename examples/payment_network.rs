@@ -32,10 +32,17 @@ fn scenario(straggler: bool) -> Scenario {
 
 fn main() {
     for straggler in [false, true] {
-        let label = if straggler { "with a 10x straggler" } else { "no straggler" };
+        let label = if straggler {
+            "with a 10x straggler"
+        } else {
+            "no straggler"
+        };
         println!("== payments-only workload on 8 WAN replicas ({label}) ==");
         let outcome = run_scenario(&scenario(straggler));
-        println!("  confirmed        : {}/{}", outcome.confirmed, outcome.submitted);
+        println!(
+            "  confirmed        : {}/{}",
+            outcome.confirmed, outcome.submitted
+        );
         println!("  throughput       : {:.2} ktps", outcome.throughput_ktps);
         println!("  average latency  : {}", outcome.avg_latency);
         println!(
@@ -45,7 +52,10 @@ fn main() {
         );
         let first = outcome.state_digests[0].1;
         assert!(outcome.state_digests.iter().all(|(_, d)| *d == first));
-        println!("  state digests    : all {} replicas agree", outcome.state_digests.len());
+        println!(
+            "  state digests    : all {} replicas agree",
+            outcome.state_digests.len()
+        );
         println!();
     }
     println!(

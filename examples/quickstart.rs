@@ -23,7 +23,10 @@ fn main() {
     println!();
     println!("submitted transactions : {}", outcome.submitted);
     println!("confirmed transactions : {}", outcome.confirmed);
-    println!("throughput             : {:.2} ktps", outcome.throughput_ktps);
+    println!(
+        "throughput             : {:.2} ktps",
+        outcome.throughput_ktps
+    );
     println!("average latency        : {}", outcome.avg_latency);
     println!("p95 latency            : {}", outcome.p95_latency);
     println!("blocks delivered       : {}", outcome.blocks_delivered);

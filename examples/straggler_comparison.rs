@@ -39,7 +39,11 @@ fn main() {
     for straggler in [false, true] {
         println!(
             "== 8 WAN replicas, {} ==",
-            if straggler { "one 10x straggler" } else { "no straggler" }
+            if straggler {
+                "one 10x straggler"
+            } else {
+                "no straggler"
+            }
         );
         println!(
             "{:<10} {:>12} {:>14} {:>14}",
@@ -59,8 +63,8 @@ fn main() {
                 baseline_latency = Some(outcome.avg_latency);
             } else if straggler && protocol == ProtocolKind::Iss {
                 if let Some(orthrus) = baseline_latency {
-                    let reduction = 1.0
-                        - orthrus.as_secs_f64() / outcome.avg_latency.as_secs_f64().max(1e-9);
+                    let reduction =
+                        1.0 - orthrus.as_secs_f64() / outcome.avg_latency.as_secs_f64().max(1e-9);
                     println!(
                         "           -> Orthrus latency is {:.0}% lower than ISS under a straggler",
                         reduction * 100.0
