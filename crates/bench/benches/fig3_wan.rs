@@ -2,9 +2,12 @@
 //! and Ladon in the WAN, with 0 and 1 straggler, sweeping the replica count.
 //!
 //! Reduced scale by default; `ORTHRUS_FULL_SCALE=1` runs the paper's 8–128
-//! replica sweep with the 200k-transaction workload.
+//! replica sweep with the 200k-transaction workload. Scenario points are
+//! independent and deterministic, so they run on the scoped thread pool
+//! (`ORTHRUS_SWEEP_THREADS` overrides the worker count); results are printed
+//! and written in input order regardless of thread count.
 
-use orthrus_bench::harness::{self, BenchScale};
+use orthrus_bench::harness::{self, BenchScale, SweepJob};
 use orthrus_types::{NetworkKind, ProtocolKind};
 
 fn main() {
@@ -23,15 +26,17 @@ fn main() {
             ),
             "replicas",
         );
-        let mut points = Vec::new();
+        let mut jobs = Vec::new();
         for &n in &scale.replica_counts() {
             for protocol in ProtocolKind::ALL {
                 let scenario =
                     harness::paper_scenario(protocol, NetworkKind::Wan, n, 0.46, straggler, scale);
-                let point = harness::measure(protocol.label(), f64::from(n), &scenario);
-                harness::print_row(&point);
-                points.push(point);
+                jobs.push(SweepJob::new(protocol.label(), f64::from(n), scenario));
             }
+        }
+        let points = harness::measure_sweep(&jobs);
+        for point in &points {
+            harness::print_row(point);
         }
         harness::write_csv(figure, "replicas", &points);
     }

@@ -1,7 +1,10 @@
 //! Figure 4 (a–d): throughput and latency of Orthrus, ISS, RCC, Mir, DQBFT
 //! and Ladon in the LAN, with 0 and 1 straggler, sweeping the replica count.
+//!
+//! Scenario points run on the scoped thread pool (`ORTHRUS_SWEEP_THREADS`
+//! overrides the worker count); series order is stable regardless.
 
-use orthrus_bench::harness::{self, BenchScale};
+use orthrus_bench::harness::{self, BenchScale, SweepJob};
 use orthrus_types::{NetworkKind, ProtocolKind};
 
 fn main() {
@@ -20,15 +23,17 @@ fn main() {
             ),
             "replicas",
         );
-        let mut points = Vec::new();
+        let mut jobs = Vec::new();
         for &n in &scale.replica_counts() {
             for protocol in ProtocolKind::ALL {
                 let scenario =
                     harness::paper_scenario(protocol, NetworkKind::Lan, n, 0.46, straggler, scale);
-                let point = harness::measure(protocol.label(), f64::from(n), &scenario);
-                harness::print_row(&point);
-                points.push(point);
+                jobs.push(SweepJob::new(protocol.label(), f64::from(n), scenario));
             }
+        }
+        let points = harness::measure_sweep(&jobs);
+        for point in &points {
+            harness::print_row(point);
         }
         harness::write_csv(figure, "replicas", &points);
     }

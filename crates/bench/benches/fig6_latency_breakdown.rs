@@ -3,7 +3,7 @@
 //! (send, preprocessing, partial ordering, global ordering, reply).
 
 use orthrus_bench::harness::{self, BenchScale};
-use orthrus_core::run_scenario;
+use orthrus_core::run_scenarios;
 use orthrus_types::{NetworkKind, ProtocolKind};
 use std::fs;
 
@@ -27,10 +27,17 @@ fn main() {
     let mut csv = String::from(
         "protocol,send_s,preprocess_s,partial_ordering_s,global_ordering_s,reply_s,global_share\n",
     );
-    for protocol in [ProtocolKind::Orthrus, ProtocolKind::Iss] {
-        let scenario =
-            harness::paper_scenario(protocol, NetworkKind::Wan, replicas, 0.46, true, scale);
-        let outcome = run_scenario(&scenario);
+    // The two protocol runs are independent; sweep them in parallel and keep
+    // the original print order.
+    let protocols = [ProtocolKind::Orthrus, ProtocolKind::Iss];
+    let scenarios: Vec<_> = protocols
+        .iter()
+        .map(|&protocol| {
+            harness::paper_scenario(protocol, NetworkKind::Wan, replicas, 0.46, true, scale)
+        })
+        .collect();
+    let outcomes = run_scenarios(&scenarios);
+    for (protocol, outcome) in protocols.iter().zip(&outcomes) {
         let b = outcome.breakdown;
         println!(
             "{:<10} {:>10.3} {:>14.3} {:>18.3} {:>17.3} {:>10.3} {:>9.1}%",

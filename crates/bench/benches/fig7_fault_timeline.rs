@@ -3,7 +3,7 @@
 //! 0.5 s intervals. The PBFT view-change timeout is 10 s as in the paper.
 
 use orthrus_bench::harness::{self, BenchScale};
-use orthrus_core::run_scenario;
+use orthrus_core::run_scenarios;
 use orthrus_sim::FaultPlan;
 use orthrus_types::{Duration, NetworkKind, ProtocolKind, ReplicaId, SimTime};
 use std::fs;
@@ -15,30 +15,38 @@ fn main() {
     println!();
     println!("=== Figure 7 — throughput/latency over time under crash faults ({replicas} replicas WAN) ===");
     let mut csv = String::from("faults,time_s,throughput_ktps,latency_s\n");
-    for &faults in &fault_counts {
-        let mut scenario = harness::paper_scenario(
-            ProtocolKind::Orthrus,
-            NetworkKind::Wan,
-            replicas,
-            0.46,
-            false,
-            scale,
-        );
-        // Spread submissions over a longer window so the run is still under
-        // load when the faults hit at t = 9 s, and keep the paper's 10 s
-        // view-change timeout.
-        scenario.submission_window = Duration::from_secs(25);
-        scenario.max_sim_time = Duration::from_secs(120);
-        scenario.config.view_change_timeout = Duration::from_secs(10);
-        let mut plan = FaultPlan::none();
-        for f in 0..faults {
-            // Crash replicas other than replica 0 so instance 0 keeps its
-            // leader and the crashes are spread over distinct instances.
-            plan = plan.with_crash(ReplicaId::new(1 + f), SimTime::from_secs(9));
-        }
-        scenario.faults = plan;
-
-        let outcome = run_scenario(&scenario);
+    // Build the three fault timelines up front and sweep them on the thread
+    // pool; printing below keeps the input order.
+    let scenarios: Vec<_> = fault_counts
+        .iter()
+        .map(|&faults| {
+            let mut scenario = harness::paper_scenario(
+                ProtocolKind::Orthrus,
+                NetworkKind::Wan,
+                replicas,
+                0.46,
+                false,
+                scale,
+            );
+            // Spread submissions over a longer window so the run is still
+            // under load when the faults hit at t = 9 s, and keep the paper's
+            // 10 s view-change timeout.
+            scenario.submission_window = Duration::from_secs(25);
+            scenario.max_sim_time = Duration::from_secs(120);
+            scenario.config.view_change_timeout = Duration::from_secs(10);
+            let mut plan = FaultPlan::none();
+            for f in 0..faults {
+                // Crash replicas other than replica 0 so instance 0 keeps
+                // its leader and the crashes are spread over distinct
+                // instances.
+                plan = plan.with_crash(ReplicaId::new(1 + f), SimTime::from_secs(9));
+            }
+            scenario.faults = plan;
+            scenario
+        })
+        .collect();
+    let outcomes = run_scenarios(&scenarios);
+    for (&faults, outcome) in fault_counts.iter().zip(&outcomes) {
         println!(
             "\n-- f = {faults}: {} / {} confirmed, {} view changes --",
             outcome.confirmed, outcome.submitted, outcome.view_changes

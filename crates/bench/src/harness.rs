@@ -1,12 +1,13 @@
 //! Shared machinery for the figure-reproduction benches.
 
-use orthrus_core::{run_scenario, Scenario, ScenarioOutcome};
+use orthrus_core::{parallel_map, run_scenario, sweep_threads, Scenario, ScenarioOutcome};
 use orthrus_sim::FaultPlan;
 use orthrus_types::{Duration, NetworkKind, ProtocolKind, ReplicaId};
 use orthrus_workload::WorkloadConfig;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// How large an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +102,14 @@ pub struct MeasuredPoint {
     pub bytes_sent: u64,
     /// Simulation events dispatched.
     pub events_processed: u64,
+    /// Largest number of events simultaneously waiting in the engine queue.
+    pub peak_queue_len: u64,
+    /// Wall-clock time the scenario took to simulate, in milliseconds
+    /// (`0` when the point was built from an outcome without timing it).
+    /// Measured under whatever concurrency the sweep ran with, so points
+    /// timed on a busy pool include contention — compare trajectories only
+    /// across runs with the same `ORTHRUS_SWEEP_THREADS` setting.
+    pub wall_clock_ms: f64,
 }
 
 impl MeasuredPoint {
@@ -116,7 +125,15 @@ impl MeasuredPoint {
             submitted: outcome.submitted,
             bytes_sent: outcome.report.bytes_sent,
             events_processed: outcome.report.events_processed,
+            peak_queue_len: outcome.report.peak_queue_len,
+            wall_clock_ms: 0.0,
         }
+    }
+
+    /// Attach the wall-clock time the scenario took to simulate.
+    pub fn with_wall_clock(mut self, ms: f64) -> Self {
+        self.wall_clock_ms = ms;
+        self
     }
 
     /// Serialize the point as one JSON object (hand-rolled; the workspace
@@ -127,7 +144,8 @@ impl MeasuredPoint {
                 "{{\"protocol\":\"{}\",\"x\":{},\"throughput_ktps\":{:.6},",
                 "\"avg_latency_s\":{:.6},\"p99_latency_s\":{:.6},",
                 "\"confirmed\":{},\"submitted\":{},",
-                "\"bytes_sent\":{},\"events_processed\":{}}}"
+                "\"bytes_sent\":{},\"events_processed\":{},",
+                "\"peak_queue_len\":{},\"wall_clock_ms\":{:.3}}}"
             ),
             self.protocol,
             self.x,
@@ -138,6 +156,8 @@ impl MeasuredPoint {
             self.submitted,
             self.bytes_sent,
             self.events_processed,
+            self.peak_queue_len,
+            self.wall_clock_ms,
         )
     }
 }
@@ -175,8 +195,49 @@ pub fn paper_scenario(
 
 /// Run one scenario and convert the outcome into a measured point.
 pub fn measure(label: &str, x: f64, scenario: &Scenario) -> MeasuredPoint {
+    let wall = Instant::now();
     let outcome = run_scenario(scenario);
     MeasuredPoint::from_outcome(label, x, &outcome)
+        .with_wall_clock(wall.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One labelled point of a sweep: a scenario plus its series label and
+/// x-axis value.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Protocol label (matches the paper's legends).
+    pub label: String,
+    /// X-axis value of the point.
+    pub x: f64,
+    /// The scenario to run.
+    pub scenario: Scenario,
+}
+
+impl SweepJob {
+    /// Build a sweep job.
+    pub fn new(label: &str, x: f64, scenario: Scenario) -> Self {
+        Self {
+            label: label.to_string(),
+            x,
+            scenario,
+        }
+    }
+}
+
+/// Run a sweep of independent scenario points on the scoped thread pool
+/// (`orthrus_core::parallel_map`), one deterministic seeded simulation per
+/// worker. Results come back in input order, so figure series are stable
+/// regardless of thread count; set `ORTHRUS_SWEEP_THREADS` to override the
+/// worker count.
+pub fn measure_sweep(jobs: &[SweepJob]) -> Vec<MeasuredPoint> {
+    measure_sweep_with_threads(jobs, sweep_threads())
+}
+
+/// [`measure_sweep`] with an explicit worker count.
+pub fn measure_sweep_with_threads(jobs: &[SweepJob], threads: usize) -> Vec<MeasuredPoint> {
+    parallel_map(jobs, threads, |job| {
+        measure(&job.label, job.x, &job.scenario)
+    })
 }
 
 /// Print the header of a figure table.
@@ -313,6 +374,8 @@ mod tests {
             submitted: 2_000,
             bytes_sent: 123_456,
             events_processed: 789,
+            peak_queue_len: 321,
+            wall_clock_ms: 12.5,
         };
         let doc = series_json("fig_test", "replicas", &[point.clone(), point]);
         // Structural sanity without a JSON parser: balanced braces/brackets,
@@ -328,8 +391,40 @@ mod tests {
             "\"p99_latency_s\"",
             "\"bytes_sent\"",
             "\"events_processed\"",
+            "\"peak_queue_len\"",
+            "\"wall_clock_ms\"",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+
+    #[test]
+    fn sweep_points_come_back_in_input_order_for_any_thread_count() {
+        let scale = BenchScale::Reduced;
+        let jobs: Vec<SweepJob> = [4u32, 8]
+            .into_iter()
+            .map(|n| {
+                let scenario = paper_scenario(
+                    ProtocolKind::Orthrus,
+                    NetworkKind::Lan,
+                    n,
+                    0.46,
+                    false,
+                    scale,
+                );
+                SweepJob::new("Orthrus", f64::from(n), scenario)
+            })
+            .collect();
+        let serial = measure_sweep_with_threads(&jobs, 1);
+        let pooled = measure_sweep_with_threads(&jobs, 2);
+        assert_eq!(serial.len(), 2);
+        for ((s, p), job) in serial.iter().zip(&pooled).zip(&jobs) {
+            assert_eq!(s.x, job.x);
+            assert_eq!(p.x, job.x);
+            // Wall clock differs run to run; everything simulated must not.
+            assert_eq!(s.throughput_ktps, p.throughput_ktps);
+            assert_eq!(s.events_processed, p.events_processed);
+            assert_eq!(s.peak_queue_len, p.peak_queue_len);
         }
     }
 }

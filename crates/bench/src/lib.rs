@@ -26,6 +26,7 @@ pub mod timing;
 pub use timing::{bench, BenchResult};
 
 pub use harness::{
-    figure_csv_path, figure_json_path, measure, print_header, print_row, replica_counts,
-    series_json, write_csv, write_json, BenchScale, MeasuredPoint,
+    figure_csv_path, figure_json_path, measure, measure_sweep, measure_sweep_with_threads,
+    print_header, print_row, replica_counts, series_json, write_csv, write_json, BenchScale,
+    MeasuredPoint, SweepJob,
 };

@@ -37,4 +37,7 @@ pub use client::ClientNode;
 pub use messages::{NetMessage, ReplyStatus};
 pub use partition::{Bucket, Partitioner};
 pub use replica::ReplicaNode;
-pub use runner::{build_simulation, run_scenario, Scenario, ScenarioOutcome};
+pub use runner::{
+    build_simulation, parallel_map, run_scenario, run_scenarios, run_scenarios_with_threads,
+    sweep_threads, Scenario, ScenarioOutcome,
+};

@@ -30,10 +30,6 @@ const TIMER_BATCH: u64 = 1;
 /// Timer tag: failure detector sweep.
 const TIMER_FAILURE_DETECTOR: u64 = 2;
 
-/// Maximum number of proposals a leader keeps in flight (beyond the delivered
-/// prefix) per instance.
-const MAX_INFLIGHT_BLOCKS: u64 = 4;
-
 /// The global-ordering policy selected by the protocol.
 enum Policy {
     Predetermined(PredeterminedOrdering),
@@ -485,7 +481,7 @@ impl ReplicaNode {
         let delivered = self.instances[idx]
             .last_delivered()
             .map_or(0, |s| s.value() + 1);
-        if sn.value() >= delivered + MAX_INFLIGHT_BLOCKS {
+        if sn.value() >= delivered + self.config.max_inflight_blocks {
             return;
         }
         let executor = &self.executor;
@@ -538,7 +534,7 @@ impl ReplicaNode {
         let delivered = self.instances[idx]
             .last_delivered()
             .map_or(0, |s| s.value() + 1);
-        if sn.value() >= delivered + MAX_INFLIGHT_BLOCKS {
+        if sn.value() >= delivered + self.config.max_inflight_blocks {
             return;
         }
         let ids = std::mem::take(&mut self.pending_order_decisions);

@@ -12,7 +12,7 @@ use crate::replica::ReplicaNode;
 use orthrus_execution::ObjectStore;
 use orthrus_sim::stats::LatencyBreakdown;
 use orthrus_sim::{
-    FaultPlan, NetworkConfig, NodeId, Simulation, SimulationReport, ThroughputPoint,
+    FaultPlan, NetworkConfig, NodeId, QueueKind, Simulation, SimulationReport, ThroughputPoint,
 };
 use orthrus_types::{
     Digest, Duration, NetworkKind, ProtocolConfig, ProtocolKind, ReplicaId, SharedTx, SimTime,
@@ -41,6 +41,9 @@ pub struct Scenario {
     pub max_sim_time: Duration,
     /// Seed for workload generation and network jitter.
     pub seed: u64,
+    /// Event-queue implementation the simulation runs on. Both kinds produce
+    /// bit-identical traces; differential tests drive both.
+    pub queue: QueueKind,
 }
 
 impl Scenario {
@@ -57,6 +60,7 @@ impl Scenario {
             submission_window: Duration::from_secs(2),
             max_sim_time: Duration::from_secs(120),
             seed: 42,
+            queue: QueueKind::default(),
         }
     }
 
@@ -89,6 +93,19 @@ impl Scenario {
     /// Override the simulated-time limit.
     pub fn with_max_sim_time(mut self, limit: Duration) -> Self {
         self.max_sim_time = limit;
+        self
+    }
+
+    /// Override the event-queue implementation.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Override the per-instance leader pipelining depth
+    /// (`ProtocolConfig::max_inflight_blocks`).
+    pub fn with_max_inflight_blocks(mut self, depth: u64) -> Self {
+        self.config.max_inflight_blocks = depth;
         self
     }
 }
@@ -145,8 +162,12 @@ pub fn build_simulation(scenario: &Scenario) -> (Simulation<NetMessage>, usize) 
     workload.install_genesis(&mut genesis);
 
     let network = NetworkConfig::for_kind(scenario.network);
-    let mut sim: Simulation<NetMessage> =
-        Simulation::with_faults(network, scenario.faults.clone(), scenario.seed);
+    let mut sim: Simulation<NetMessage> = Simulation::with_queue(
+        network,
+        scenario.faults.clone(),
+        scenario.seed,
+        scenario.queue,
+    );
 
     // Replicas must agree with the runner on the logical-client → client-actor
     // mapping so they can route replies.
@@ -196,6 +217,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         events_processed: 0,
         messages_sent: 0,
         bytes_sent: 0,
+        peak_queue_len: 0,
     };
     loop {
         let now = sim.now();
@@ -269,8 +291,82 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
             events_processed: last_report.events_processed,
             messages_sent: stats.messages_sent,
             bytes_sent: stats.bytes_sent,
+            peak_queue_len: last_report.peak_queue_len,
         },
     }
+}
+
+// ----------------------------------------------------------------------
+// Parallel scenario sweeps
+// ----------------------------------------------------------------------
+
+/// Number of worker threads a sweep uses: the `ORTHRUS_SWEEP_THREADS`
+/// environment variable if set (≥ 1), otherwise the machine's available
+/// parallelism.
+pub fn sweep_threads() -> usize {
+    match std::env::var("ORTHRUS_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Apply `f` to every item on a zero-dependency scoped thread pool of up to
+/// `threads` workers, returning results in input order.
+///
+/// Workers claim items through a shared atomic cursor, so uneven item costs
+/// balance automatically. Because each scenario run is deterministic and
+/// self-contained, the output is identical for every thread count.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().expect("no panics while holding the lock") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no panics while holding the lock")
+                .expect("every claimed slot was filled")
+        })
+        .collect()
+}
+
+/// Run independent scenarios in parallel (one deterministic seeded
+/// [`Simulation`] per worker), with results in input order. Thread count
+/// comes from [`sweep_threads`].
+pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+    run_scenarios_with_threads(scenarios, sweep_threads())
+}
+
+/// [`run_scenarios`] with an explicit worker count. `threads = 1` runs the
+/// scenarios serially on the calling thread.
+pub fn run_scenarios_with_threads(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioOutcome> {
+    parallel_map(scenarios, threads, run_scenario)
 }
 
 #[cfg(test)]
@@ -297,6 +393,7 @@ mod tests {
             submission_window: Duration::from_millis(200),
             max_sim_time: Duration::from_secs(60),
             seed: 7,
+            queue: QueueKind::default(),
         }
     }
 
@@ -359,6 +456,7 @@ mod tests {
                 submission_window: Duration::from_secs(2),
                 max_sim_time: Duration::from_secs(120),
                 seed: 11,
+                queue: QueueKind::default(),
             }
             .with_straggler()
         };
@@ -380,11 +478,53 @@ mod tests {
         let s = Scenario::new(ProtocolKind::Ladon, NetworkKind::Wan, 8)
             .with_straggler()
             .with_seed(9)
-            .with_max_sim_time(Duration::from_secs(30));
+            .with_max_sim_time(Duration::from_secs(30))
+            .with_queue(QueueKind::Heap)
+            .with_max_inflight_blocks(8);
         assert_eq!(s.config.num_replicas, 8);
         assert_eq!(s.faults.stragglers.len(), 1);
         assert_eq!(s.seed, 9);
         assert_eq!(s.max_sim_time, Duration::from_secs(30));
+        assert_eq!(s.queue, QueueKind::Heap);
+        assert_eq!(s.config.max_inflight_blocks, 8);
+        assert!(s.config.validate().is_ok());
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..37).collect();
+        for threads in [1, 2, 5, 64] {
+            let doubled = parallel_map(&items, threads, |x| x * 2);
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_outcomes() {
+        let scenarios: Vec<Scenario> = [ProtocolKind::Orthrus, ProtocolKind::Ladon]
+            .into_iter()
+            .map(tiny_scenario)
+            .collect();
+        let serial = run_scenarios_with_threads(&scenarios, 1);
+        let pooled = run_scenarios_with_threads(&scenarios, 2);
+        assert_eq!(serial.len(), pooled.len());
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.confirmed, b.confirmed);
+            assert_eq!(a.avg_latency, b.avg_latency);
+            assert_eq!(a.state_digests, b.state_digests);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn deeper_pipelining_is_a_valid_configuration() {
+        let mut s = tiny_scenario(ProtocolKind::Orthrus);
+        s.config.max_inflight_blocks = 16;
+        let outcome = run_scenario(&s);
+        assert_eq!(outcome.confirmed, outcome.submitted);
     }
 }
 
@@ -414,6 +554,7 @@ mod debug_tests {
             submission_window: Duration::from_millis(200),
             max_sim_time: Duration::from_secs(10),
             seed: 7,
+            queue: QueueKind::default(),
         };
         let (mut sim, submitted) = build_simulation(&scenario);
         for step in 0..10 {

@@ -7,11 +7,21 @@ use crate::stats::StatsCollector;
 use orthrus_types::rng::StdRng;
 use orthrus_types::{Duration, SimTime};
 use std::any::Any;
-use std::collections::HashSet;
 
 /// Handle of a pending timer, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(pub u64);
+
+/// A buffered outbound transmission: a unicast to one node, or a coalesced
+/// multicast the engine carries through its queue as a *single* event.
+#[derive(Debug, PartialEq)]
+pub(crate) enum Outbound<M> {
+    /// One message to one recipient.
+    One(NodeId, M),
+    /// One message to many recipients (at least two), delivered in the given
+    /// deterministic order.
+    Many(Vec<NodeId>, M),
+}
 
 /// A protocol node driven by the simulation engine.
 ///
@@ -46,9 +56,9 @@ pub struct Context<'a, M> {
     pub(crate) self_id: NodeId,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) stats: &'a mut StatsCollector,
-    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+    pub(crate) outbox: &'a mut Vec<Outbound<M>>,
     pub(crate) timer_requests: &'a mut Vec<(Duration, u64, TimerId)>,
-    pub(crate) cancelled_timers: &'a mut HashSet<u64>,
+    pub(crate) cancel_requests: &'a mut Vec<u64>,
     pub(crate) next_timer_id: &'a mut u64,
 }
 
@@ -69,29 +79,28 @@ impl<'a, M> Context<'a, M> {
     /// (propagation + serialization + processing, with straggler slowdown).
     /// Sending to oneself is allowed and arrives after the loopback delay.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.outbox.push((to, msg));
+        self.outbox.push(Outbound::One(to, msg));
     }
 
     /// Send the same message to every node in `targets`.
     ///
-    /// With `Arc`-backed message payloads (the workspace's convention — see
-    /// `ARCHITECTURE.md`) each per-recipient clone is a reference-count bump,
-    /// and the original is *moved* to the final recipient, so an `n`-way
-    /// broadcast performs `n - 1` cheap clones and zero deep copies.
+    /// The whole fan-out travels through the engine's queue as *one*
+    /// coalesced event holding the single original message, so an `n`-way
+    /// broadcast adds one queue entry instead of `n` and performs zero clones
+    /// up front. Per-recipient copies (a reference-count bump with the
+    /// workspace's `Arc`-backed payloads — see `ARCHITECTURE.md`) are made
+    /// only when each delivery is dispatched, and per-link latency is sampled
+    /// in the deterministic order recipients appear in `targets`.
     pub fn multicast<I>(&mut self, targets: I, msg: M)
     where
-        M: Clone,
         I: IntoIterator<Item = NodeId>,
     {
-        let mut iter = targets.into_iter();
-        let Some(mut current) = iter.next() else {
-            return;
-        };
-        for next in iter {
-            self.outbox.push((current, msg.clone()));
-            current = next;
+        let mut recipients: Vec<NodeId> = targets.into_iter().collect();
+        match recipients.len() {
+            0 => {}
+            1 => self.outbox.push(Outbound::One(recipients.remove(0), msg)),
+            _ => self.outbox.push(Outbound::Many(recipients, msg)),
         }
-        self.outbox.push((current, msg));
     }
 
     /// Arm a timer that fires after `delay` with the given `tag`. Returns a
@@ -104,9 +113,10 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Cancel a previously armed timer. Cancelling an already-fired timer is
-    /// a no-op.
+    /// a no-op (the engine checks the timer is still armed, so stale handles
+    /// leave no bookkeeping behind).
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled_timers.insert(id.0);
+        self.cancel_requests.push(id.0);
     }
 
     /// Deterministic per-node random number generator.
@@ -131,9 +141,9 @@ mod tests {
     fn make_parts() -> (
         StdRng,
         StatsCollector,
-        Vec<(NodeId, u64)>,
+        Vec<Outbound<u64>>,
         Vec<(Duration, u64, TimerId)>,
-        HashSet<u64>,
+        Vec<u64>,
         u64,
     ) {
         (
@@ -141,14 +151,14 @@ mod tests {
             StatsCollector::new(),
             Vec::new(),
             Vec::new(),
-            HashSet::new(),
+            Vec::new(),
             0,
         )
     }
 
     #[test]
     fn context_buffers_sends_and_timers() {
-        let (mut rng, mut stats, mut outbox, mut timers, mut cancelled, mut next) = make_parts();
+        let (mut rng, mut stats, mut outbox, mut timers, mut cancels, mut next) = make_parts();
         let mut ctx = Context {
             now: SimTime::from_millis(10),
             self_id: NodeId::replica(0),
@@ -156,7 +166,7 @@ mod tests {
             stats: &mut stats,
             outbox: &mut outbox,
             timer_requests: &mut timers,
-            cancelled_timers: &mut cancelled,
+            cancel_requests: &mut cancels,
             next_timer_id: &mut next,
         };
         assert_eq!(ctx.now(), SimTime::from_millis(10));
@@ -169,13 +179,35 @@ mod tests {
         let _: u32 = ctx.rng().gen();
         ctx.stats().block_delivered();
 
-        assert_eq!(outbox.len(), 3);
-        assert_eq!(outbox[0], (NodeId::replica(1), 42));
+        assert_eq!(outbox.len(), 2);
+        assert_eq!(outbox[0], Outbound::One(NodeId::replica(1), 42));
+        assert_eq!(
+            outbox[1],
+            Outbound::Many(vec![NodeId::replica(2), NodeId::replica(3)], 7)
+        );
         assert_eq!(timers.len(), 2);
         assert_ne!(t1, t2);
-        assert!(cancelled.contains(&t1.0));
-        assert!(!cancelled.contains(&t2.0));
+        assert_eq!(cancels, vec![t1.0]);
         assert_eq!(stats.blocks_delivered, 1);
         assert_eq!(next, 2);
+    }
+
+    #[test]
+    fn multicast_collapses_degenerate_fanouts() {
+        let (mut rng, mut stats, mut outbox, mut timers, mut cancels, mut next) = make_parts();
+        let mut ctx = Context {
+            now: SimTime::ZERO,
+            self_id: NodeId::replica(0),
+            rng: &mut rng,
+            stats: &mut stats,
+            outbox: &mut outbox,
+            timer_requests: &mut timers,
+            cancel_requests: &mut cancels,
+            next_timer_id: &mut next,
+        };
+        ctx.multicast([], 1u64);
+        ctx.multicast([NodeId::replica(5)], 2u64);
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0], Outbound::One(NodeId::replica(5), 2));
     }
 }

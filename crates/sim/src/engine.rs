@@ -11,9 +11,27 @@
 //! motivates Multi-BFT consensus: a single-leader protocol funnels every
 //! block through one NIC, while Multi-BFT spreads proposals over all
 //! replicas.
+//!
+//! Multicasts are *coalesced*: an `n`-way [`Context::multicast`] occupies a
+//! single [`EngineEvent::DeliverBatch`] queue entry carrying one message and
+//! a per-recipient delivery plan (NIC serialization is still charged once per
+//! copy, and per-link latency is sampled in deterministic recipient order at
+//! send time). The batch dispatches each recipient exactly at its arrival
+//! time and re-schedules itself for the next one, so the queue holds one
+//! entry per in-flight broadcast instead of `n` — at 128 replicas this
+//! shrinks the peak queue by roughly the fan-out.
+//!
+//! Coalescing preserves every per-recipient *arrival time* and the relative
+//! order of a batch's own deliveries, but not the interleaving with
+//! unrelated events at the exact same timestamp: the rescheduled remainder
+//! carries a fresh insertion sequence, so a tie against another sender's
+//! message may dispatch in a different order than the per-recipient path
+//! would have. Runs remain fully deterministic for a given seed and
+//! configuration — only the (arbitrary) tie-break between simultaneous
+//! events differs between the two delivery strategies.
 
-use crate::actor::{Actor, Context, TimerId};
-use crate::event::EventQueue;
+use crate::actor::{Actor, Context, Outbound, TimerId};
+use crate::event::{EventQueue, QueueKind};
 use crate::faults::FaultPlan;
 use crate::network::NetworkConfig;
 use crate::node::{NodeId, Payload};
@@ -25,9 +43,35 @@ use std::hash::{Hash, Hasher};
 
 /// Internal events moved through the queue.
 enum EngineEvent<M> {
-    Start { node: NodeId },
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, tag: u64 },
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    /// A coalesced multicast: one message, one queue entry, many recipients.
+    /// `plan` is sorted by arrival time (ties keep recipient order) and
+    /// `next` indexes the first undelivered recipient.
+    DeliverBatch {
+        from: NodeId,
+        msg: M,
+        plan: Vec<(SimTime, NodeId)>,
+        next: usize,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+    },
+}
+
+/// What a dispatched event asks of an actor.
+enum Invocation<M> {
+    Start,
+    Message { from: NodeId, msg: M },
+    Timer { tag: u64 },
 }
 
 /// Summary of a completed (or budget-limited) simulation run.
@@ -41,6 +85,8 @@ pub struct SimulationReport {
     pub messages_sent: u64,
     /// Number of protocol bytes sent.
     pub bytes_sent: u64,
+    /// Largest number of events simultaneously waiting in the queue.
+    pub peak_queue_len: u64,
 }
 
 /// The simulation: actors plus the virtual world they live in.
@@ -52,6 +98,11 @@ pub struct Simulation<M> {
     stats: StatsCollector,
     rngs: HashMap<NodeId, StdRng>,
     nic_free: HashMap<NodeId, SimTime>,
+    /// Timers scheduled but not yet popped. Entries leave on pop, so the set
+    /// is bounded by the number of in-flight timers.
+    armed_timers: HashSet<u64>,
+    /// Armed timers that were cancelled. Entries leave when the timer's event
+    /// pops (even if the node crashed meanwhile), so long runs do not leak.
     cancelled_timers: HashSet<u64>,
     next_timer_id: u64,
     now: SimTime,
@@ -62,22 +113,39 @@ pub struct Simulation<M> {
     max_events: u64,
 }
 
-impl<M: Payload + 'static> Simulation<M> {
+// `M: Clone` is required at the engine level (not just on `multicast`)
+// because any actor may multicast and the coalesced batch clones the message
+// per recipient at dispatch; the workspace's `Arc`-backed payload convention
+// makes that a reference-count bump.
+impl<M: Payload + Clone + 'static> Simulation<M> {
     /// Create a simulation over the given network with no faults.
     pub fn new(network: NetworkConfig, seed: u64) -> Self {
         Self::with_faults(network, FaultPlan::none(), seed)
     }
 
-    /// Create a simulation over the given network and fault plan.
+    /// Create a simulation over the given network and fault plan, using the
+    /// default (calendar) event queue.
     pub fn with_faults(network: NetworkConfig, faults: FaultPlan, seed: u64) -> Self {
+        Self::with_queue(network, faults, seed, QueueKind::default())
+    }
+
+    /// Create a simulation with an explicit event-queue implementation. Both
+    /// kinds produce bit-identical traces; differential tests drive both.
+    pub fn with_queue(
+        network: NetworkConfig,
+        faults: FaultPlan,
+        seed: u64,
+        queue: QueueKind,
+    ) -> Self {
         Self {
             actors: HashMap::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(queue),
             network,
             faults,
             stats: StatsCollector::new(),
             rngs: HashMap::new(),
             nic_free: HashMap::new(),
+            armed_timers: HashSet::new(),
             cancelled_timers: HashSet::new(),
             next_timer_id: 0,
             now: SimTime::ZERO,
@@ -152,14 +220,13 @@ impl<M: Payload + 'static> Simulation<M> {
     /// `deadline`, whichever comes first.
     pub fn run_until(&mut self, deadline: SimTime) -> SimulationReport {
         while self.events_processed < self.max_events {
-            match self.queue.peek_time() {
-                Some(t) if t <= deadline => {
-                    let (time, event) = self.queue.pop().expect("peeked event must exist");
+            match self.queue.pop_before(deadline) {
+                Ok((time, event)) => {
                     self.now = self.now.max(time);
                     self.dispatch(event);
                     self.events_processed += 1;
                 }
-                _ => break,
+                Err(_) => break,
             }
         }
         // Even if no event landed exactly on the deadline, the run covers the
@@ -188,6 +255,7 @@ impl<M: Payload + 'static> Simulation<M> {
             events_processed: self.events_processed,
             messages_sent: self.messages_sent,
             bytes_sent: self.bytes_sent,
+            peak_queue_len: self.queue.peak_len() as u64,
         }
     }
 
@@ -205,29 +273,84 @@ impl<M: Payload + 'static> Simulation<M> {
         }
     }
 
-    #[allow(clippy::type_complexity)]
     fn dispatch(&mut self, event: EngineEvent<M>) {
-        let (node, from, msg, timer): (NodeId, Option<NodeId>, Option<M>, Option<(TimerId, u64)>) =
-            match event {
-                EngineEvent::Start { node } => (node, None, None, None),
-                EngineEvent::Deliver { from, to, msg } => (to, Some(from), Some(msg), None),
-                EngineEvent::Timer { node, id, tag } => (node, None, None, Some((id, tag))),
-            };
+        match event {
+            EngineEvent::Start { node } => self.invoke(node, Invocation::Start),
+            EngineEvent::Deliver { from, to, msg } => {
+                self.invoke(to, Invocation::Message { from, msg });
+            }
+            EngineEvent::DeliverBatch {
+                from,
+                msg,
+                plan,
+                next,
+            } => self.dispatch_batch(from, msg, plan, next),
+            EngineEvent::Timer { node, id, tag } => {
+                // Retire the timer's bookkeeping unconditionally — before the
+                // crash check inside `invoke` — so cancelled timers of
+                // crashed nodes do not leak their tombstones.
+                self.armed_timers.remove(&id.0);
+                if self.cancelled_timers.remove(&id.0) {
+                    return;
+                }
+                self.invoke(node, Invocation::Timer { tag });
+            }
+        }
+    }
 
+    /// Deliver the due prefix of a coalesced multicast, then re-schedule the
+    /// remainder as the same single queue entry.
+    fn dispatch_batch(&mut self, from: NodeId, msg: M, plan: Vec<(SimTime, NodeId)>, start: usize) {
+        let mut due_end = start;
+        while due_end < plan.len() && plan[due_end].0 <= self.now {
+            due_end += 1;
+        }
+        // The pop that got us here counts as one event; tied arrivals beyond
+        // the first still count individually so `events_processed` (and the
+        // `max_events` livelock budget) track actor invocations, comparable
+        // to the per-recipient path.
+        self.events_processed += (due_end - start).saturating_sub(1) as u64;
+        let mut msg = Some(msg);
+        for (i, &(_, to)) in plan.iter().enumerate().take(due_end).skip(start) {
+            let m = if i + 1 == plan.len() {
+                msg.take()
+                    .expect("batch message present until last recipient")
+            } else {
+                msg.as_ref()
+                    .expect("batch message present until last recipient")
+                    .clone()
+            };
+            self.invoke(to, Invocation::Message { from, msg: m });
+        }
+        if due_end < plan.len() {
+            let at = plan[due_end].0;
+            let msg = msg.take().expect("undelivered batch keeps its message");
+            self.queue.schedule(
+                at,
+                EngineEvent::DeliverBatch {
+                    from,
+                    msg,
+                    plan,
+                    next: due_end,
+                },
+            );
+        }
+    }
+
+    /// Run one actor handler and apply everything it buffered: timers first
+    /// (so a timer set and cancelled in the same handler resolves), then
+    /// cancellations, then outbound messages through the network model.
+    fn invoke(&mut self, node: NodeId, invocation: Invocation<M>) {
         if self.node_crashed(node, self.now) {
             return;
-        }
-        if let Some((id, _)) = timer {
-            if self.cancelled_timers.remove(&id.0) {
-                return;
-            }
         }
         let Some(mut actor) = self.actors.remove(&node) else {
             return;
         };
 
-        let mut outbox: Vec<(NodeId, M)> = Vec::new();
+        let mut outbox: Vec<Outbound<M>> = Vec::new();
         let mut timer_requests: Vec<(Duration, u64, TimerId)> = Vec::new();
+        let mut cancel_requests: Vec<u64> = Vec::new();
         {
             let rng = self
                 .rngs
@@ -240,61 +363,134 @@ impl<M: Payload + 'static> Simulation<M> {
                 stats: &mut self.stats,
                 outbox: &mut outbox,
                 timer_requests: &mut timer_requests,
-                cancelled_timers: &mut self.cancelled_timers,
+                cancel_requests: &mut cancel_requests,
                 next_timer_id: &mut self.next_timer_id,
             };
-            match (from, msg, timer) {
-                (Some(from), Some(msg), _) => actor.on_message(from, msg, &mut ctx),
-                (_, _, Some((_, tag))) => actor.on_timer(tag, &mut ctx),
-                _ => actor.on_start(&mut ctx),
+            match invocation {
+                Invocation::Start => actor.on_start(&mut ctx),
+                Invocation::Message { from, msg } => actor.on_message(from, msg, &mut ctx),
+                Invocation::Timer { tag } => actor.on_timer(tag, &mut ctx),
             }
         }
         self.actors.insert(node, actor);
 
         // Apply buffered timer requests.
         for (delay, tag, id) in timer_requests {
+            self.armed_timers.insert(id.0);
             self.queue
                 .schedule(self.now + delay, EngineEvent::Timer { node, id, tag });
+        }
+        // Apply buffered cancellations. Only a still-armed timer leaves a
+        // tombstone; cancelling an already-fired handle is a true no-op, so
+        // neither set can grow without bound.
+        for id in cancel_requests {
+            if self.armed_timers.remove(&id) {
+                self.cancelled_timers.insert(id);
+            }
         }
         // Apply buffered sends through the network model.
         self.deliver_outbox(node, outbox);
     }
 
-    fn deliver_outbox(&mut self, from: NodeId, outbox: Vec<(NodeId, M)>) {
+    fn deliver_outbox(&mut self, from: NodeId, outbox: Vec<Outbound<M>>) {
         if outbox.is_empty() {
             return;
         }
         let slow_from = self.node_slowdown(from);
-        for (to, msg) in outbox {
-            let bytes = msg.wire_bytes();
-            self.messages_sent += 1;
-            self.bytes_sent += bytes;
-            self.stats.messages_sent += 1;
-            self.stats.bytes_sent += bytes;
-
-            let processing = self.network.processing_per_message.mul_f64(slow_from);
-            let ready = self.now + processing;
-
-            // Per-sender NIC: messages serialize one after another.
-            let serialization = self.network.serialization_delay(bytes).mul_f64(slow_from);
-            let nic_free = self.nic_free.get(&from).copied().unwrap_or(SimTime::ZERO);
-            let start = if nic_free > ready { nic_free } else { ready };
-            let done = start + serialization;
-            self.nic_free.insert(from, done);
-
-            let rng = self.rngs.get_mut(&from).expect("sender has an rng stream");
-            let propagation = self
-                .network
-                .sample_latency(from, to, rng)
-                .mul_f64(slow_from);
-            let recv_processing = self
-                .network
-                .processing_per_message
-                .mul_f64(self.node_slowdown(to));
-            let arrival = done + propagation + recv_processing;
-            self.queue
-                .schedule(arrival, EngineEvent::Deliver { from, to, msg });
+        for item in outbox {
+            match item {
+                Outbound::One(to, msg) => self.deliver_unicast(from, to, msg, slow_from),
+                Outbound::Many(recipients, msg) => {
+                    self.deliver_multicast(from, recipients, msg, slow_from);
+                }
+            }
         }
+    }
+
+    /// Count `copies` sends of `bytes` each in the wire statistics.
+    fn charge_send(&mut self, bytes: u64, copies: u64) {
+        self.messages_sent += copies;
+        self.bytes_sent += bytes * copies;
+        self.stats.messages_sent += copies;
+        self.stats.bytes_sent += bytes * copies;
+    }
+
+    /// When the sender's NIC can start serializing the next message of
+    /// `bytes`, and how long one copy takes on the wire.
+    fn nic_slot(&mut self, from: NodeId, bytes: u64, slow_from: f64) -> (SimTime, Duration) {
+        let processing = self.network.processing_per_message.mul_f64(slow_from);
+        let ready = self.now + processing;
+        let serialization = self.network.serialization_delay(bytes).mul_f64(slow_from);
+        let nic_free = self.nic_free.get(&from).copied().unwrap_or(SimTime::ZERO);
+        let start = if nic_free > ready { nic_free } else { ready };
+        (start, serialization)
+    }
+
+    /// Arrival time at `to` of a copy whose NIC serialization finished at
+    /// `done`: jittered per-link propagation (drawn from the sender's RNG
+    /// stream) plus receiver-side processing. Unicast and multicast both
+    /// charge copies through here, so their arrival math cannot diverge.
+    fn copy_arrival(&mut self, from: NodeId, to: NodeId, done: SimTime, slow_from: f64) -> SimTime {
+        let rng = self.rngs.get_mut(&from).expect("sender has an rng stream");
+        let propagation = self
+            .network
+            .sample_latency(from, to, rng)
+            .mul_f64(slow_from);
+        let recv_processing = self
+            .network
+            .processing_per_message
+            .mul_f64(self.node_slowdown(to));
+        done + propagation + recv_processing
+    }
+
+    fn deliver_unicast(&mut self, from: NodeId, to: NodeId, msg: M, slow_from: f64) {
+        let bytes = msg.wire_bytes();
+        self.charge_send(bytes, 1);
+        // Per-sender NIC: messages serialize one after another.
+        let (start, serialization) = self.nic_slot(from, bytes, slow_from);
+        let done = start + serialization;
+        self.nic_free.insert(from, done);
+        let arrival = self.copy_arrival(from, to, done, slow_from);
+        self.queue
+            .schedule(arrival, EngineEvent::Deliver { from, to, msg });
+    }
+
+    /// Coalesce an `n`-way multicast into one queue entry. The network model
+    /// is charged exactly as for `n` unicasts — per-message stats, one NIC
+    /// serialization slot per copy, per-link jittered propagation sampled in
+    /// recipient order — but the queue carries a single `DeliverBatch`.
+    fn deliver_multicast(&mut self, from: NodeId, recipients: Vec<NodeId>, msg: M, slow_from: f64) {
+        if recipients.len() == 1 {
+            let to = recipients[0];
+            return self.deliver_unicast(from, to, msg, slow_from);
+        }
+        let bytes = msg.wire_bytes();
+        self.charge_send(bytes, recipients.len() as u64);
+        let (start, serialization) = self.nic_slot(from, bytes, slow_from);
+
+        let mut plan: Vec<(SimTime, NodeId)> = Vec::with_capacity(recipients.len());
+        let mut done = start;
+        for to in recipients {
+            // The sender's NIC still serializes one copy per recipient.
+            done += serialization;
+            let arrival = self.copy_arrival(from, to, done, slow_from);
+            plan.push((arrival, to));
+        }
+        self.nic_free.insert(from, done);
+
+        // Stable sort: equal arrivals keep recipient order, matching the seq
+        // tie-break the per-recipient path would have produced.
+        plan.sort_by_key(|&(at, _)| at);
+        let first = plan[0].0;
+        self.queue.schedule(
+            first,
+            EngineEvent::DeliverBatch {
+                from,
+                msg,
+                plan,
+                next: 0,
+            },
+        );
     }
 }
 
@@ -387,6 +583,7 @@ mod tests {
         assert!(report.end_time > SimTime::ZERO);
         assert_eq!(report.messages_sent, 5);
         assert!(report.bytes_sent >= 500);
+        assert!(report.peak_queue_len >= 1);
         // Arrival times strictly increase across the exchange.
         let mut all: Vec<SimTime> = a_state
             .arrivals
@@ -415,6 +612,20 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn heap_and_calendar_queues_produce_identical_reports() {
+        let run = |kind: QueueKind| {
+            let mut sim: Simulation<Ping> =
+                Simulation::with_queue(NetworkConfig::wan(), FaultPlan::none(), 7, kind);
+            let a = NodeId::replica(0);
+            let b = NodeId::replica(3);
+            sim.add_actor(a, bouncer(b, true));
+            sim.add_actor(b, bouncer(a, false));
+            sim.run_to_completion()
+        };
+        assert_eq!(run(QueueKind::Heap), run(QueueKind::Calendar));
     }
 
     #[test]
@@ -502,6 +713,73 @@ mod tests {
         sim.run_to_completion();
         let state: &TimerUser = sim.actor_as(n).unwrap();
         assert_eq!(state.fired, vec![1]);
+    }
+
+    /// Regression test for the cancelled-timer leak: tombstones must not
+    /// survive the timer's pop, cancelling an already-fired timer must not
+    /// create one, and crashed nodes must not pin theirs forever.
+    struct TimerChurner {
+        stale: Option<TimerId>,
+        churns: u32,
+    }
+
+    impl Actor<Ping> for TimerChurner {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            // A timer that fires, whose handle we cancel *afterwards*.
+            self.stale = Some(ctx.set_timer(Duration::from_millis(1), 1));
+            // Set-and-cancel churn within one handler.
+            for i in 0..self.churns {
+                let id = ctx.set_timer(Duration::from_millis(5 + u64::from(i)), 100 + u64::from(i));
+                ctx.cancel_timer(id);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: Ping, _ctx: &mut Context<'_, Ping>) {}
+        fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Ping>) {
+            if tag == 1 {
+                // Cancel the handle of the timer that just fired: a no-op
+                // that must leave no tombstone behind.
+                ctx.cancel_timer(self.stale.expect("set in on_start"));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cancelled_timer_bookkeeping_does_not_leak() {
+        let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::lan(), 5);
+        sim.add_actor(
+            NodeId::replica(0),
+            Box::new(TimerChurner {
+                stale: None,
+                churns: 200,
+            }),
+        );
+        // A node that cancels a timer and then crashes before it would fire:
+        // the pop must still clear the tombstone.
+        struct CancelThenCrash;
+        impl Actor<Ping> for CancelThenCrash {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                let id = ctx.set_timer(Duration::from_secs(2), 9);
+                ctx.cancel_timer(id);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let faults = FaultPlan::none().with_crash(ReplicaId::new(1), SimTime::from_secs(1));
+        let mut crash_sim: Simulation<Ping> =
+            Simulation::with_faults(NetworkConfig::lan(), faults, 6);
+        crash_sim.add_actor(NodeId::replica(1), Box::new(CancelThenCrash));
+
+        sim.run_to_completion();
+        crash_sim.run_to_completion();
+        assert!(sim.cancelled_timers.is_empty(), "tombstones leaked");
+        assert!(sim.armed_timers.is_empty(), "armed set leaked");
+        assert!(crash_sim.cancelled_timers.is_empty(), "crash leaked");
+        assert!(crash_sim.armed_timers.is_empty(), "crash leaked armed");
     }
 
     #[test]
@@ -595,5 +873,117 @@ mod tests {
         let gap = sink.arrivals[1] - sink.arrivals[0];
         // 2 MB at 1 Gbps is ~16 ms of serialization; the gap reflects it.
         assert!(gap >= Duration::from_millis(14), "gap was {gap}");
+    }
+
+    /// A sender that broadcasts one message to all peers, either through the
+    /// coalesced multicast or as explicit per-recipient unicasts.
+    struct Broadcaster {
+        peers: Vec<NodeId>,
+        coalesce: bool,
+    }
+    impl Actor<Ping> for Broadcaster {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            let msg = Ping {
+                hops: 0,
+                bytes: 1_000,
+            };
+            if self.coalesce {
+                ctx.multicast(self.peers.iter().copied(), msg);
+            } else {
+                for &p in &self.peers {
+                    ctx.send(p, msg.clone());
+                }
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+    struct ArrivalSink {
+        arrivals: Vec<SimTime>,
+    }
+    impl Actor<Ping> for ArrivalSink {
+        fn on_message(&mut self, _f: NodeId, _m: Ping, ctx: &mut Context<'_, Ping>) {
+            self.arrivals.push(ctx.now());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn broadcast_sim(coalesce: bool, peers: u32) -> Simulation<Ping> {
+        let mut sim: Simulation<Ping> = Simulation::new(NetworkConfig::wan(), 17);
+        let targets: Vec<NodeId> = (1..=peers).map(NodeId::replica).collect();
+        sim.add_actor(
+            NodeId::replica(0),
+            Box::new(Broadcaster {
+                peers: targets.clone(),
+                coalesce,
+            }),
+        );
+        for t in targets {
+            sim.add_actor(
+                t,
+                Box::new(ArrivalSink {
+                    arrivals: Vec::new(),
+                }),
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn coalesced_multicast_matches_per_recipient_arrival_times() {
+        // The batch path must charge the exact same NIC + propagation math as
+        // n unicasts: every recipient sees identical arrival times.
+        let peers = 12u32;
+        let mut batched = broadcast_sim(true, peers);
+        let mut unicast = broadcast_sim(false, peers);
+        let batched_report = batched.run_to_completion();
+        let unicast_report = unicast.run_to_completion();
+        for p in 1..=peers {
+            let b: &ArrivalSink = batched.actor_as(NodeId::replica(p)).unwrap();
+            let u: &ArrivalSink = unicast.actor_as(NodeId::replica(p)).unwrap();
+            assert_eq!(b.arrivals, u.arrivals, "recipient {p} diverged");
+        }
+        assert_eq!(batched_report.messages_sent, unicast_report.messages_sent);
+        assert_eq!(batched_report.bytes_sent, unicast_report.bytes_sent);
+        // The whole broadcast occupied one queue entry instead of n.
+        assert!(
+            batched_report.peak_queue_len < unicast_report.peak_queue_len,
+            "batched peak {} vs unicast peak {}",
+            batched_report.peak_queue_len,
+            unicast_report.peak_queue_len
+        );
+    }
+
+    #[test]
+    fn coalesced_multicast_skips_crashed_recipients() {
+        let faults = FaultPlan::none().with_crash(ReplicaId::new(2), SimTime::ZERO);
+        let mut sim: Simulation<Ping> = Simulation::with_faults(NetworkConfig::lan(), faults, 3);
+        let targets: Vec<NodeId> = (1..=3).map(NodeId::replica).collect();
+        sim.add_actor(
+            NodeId::replica(0),
+            Box::new(Broadcaster {
+                peers: targets.clone(),
+                coalesce: true,
+            }),
+        );
+        for t in targets {
+            sim.add_actor(
+                t,
+                Box::new(ArrivalSink {
+                    arrivals: Vec::new(),
+                }),
+            );
+        }
+        sim.run_to_completion();
+        let crashed: &ArrivalSink = sim.actor_as(NodeId::replica(2)).unwrap();
+        assert!(crashed.arrivals.is_empty());
+        for p in [1u32, 3] {
+            let alive: &ArrivalSink = sim.actor_as(NodeId::replica(p)).unwrap();
+            assert_eq!(alive.arrivals.len(), 1, "replica {p} missed delivery");
+        }
     }
 }

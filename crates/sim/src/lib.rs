@@ -38,7 +38,7 @@ pub mod stats;
 
 pub use actor::{Actor, Context, TimerId};
 pub use engine::{Simulation, SimulationReport};
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueKind};
 pub use faults::{FaultPlan, StragglerSpec};
 pub use network::{NetworkConfig, Region};
 pub use node::{NodeId, Payload};

@@ -118,6 +118,10 @@ pub struct ProtocolConfig {
     /// client `c` is served by actor `c mod num_client_actors`; replicas use
     /// the same mapping to route replies.
     pub num_client_actors: u64,
+    /// Maximum number of proposals a leader keeps in flight (beyond the
+    /// delivered prefix) per instance. Deeper pipelining keeps NICs busier at
+    /// large scale at the cost of more speculative state per instance.
+    pub max_inflight_blocks: u64,
 }
 
 impl Default for ProtocolConfig {
@@ -133,6 +137,7 @@ impl Default for ProtocolConfig {
             checkpoint_interval: 4,
             processing_delay: Duration::from_micros(30),
             num_client_actors: 4,
+            max_inflight_blocks: 4,
         }
     }
 }
@@ -201,6 +206,11 @@ impl ProtocolConfig {
         if self.epoch_length == 0 {
             return Err(OrthrusError::Config("epoch length must be positive".into()));
         }
+        if self.max_inflight_blocks == 0 {
+            return Err(OrthrusError::Config(
+                "max_inflight_blocks must be at least 1 (a leader needs one slot in flight)".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -268,6 +278,18 @@ mod tests {
         c = ProtocolConfig::for_replicas(8);
         c.num_instances = 0;
         assert!(c.validate().is_err());
+        c = ProtocolConfig::for_replicas(8);
+        c.max_inflight_blocks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn inflight_depth_is_tunable_and_defaults_to_four() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.max_inflight_blocks, 4);
+        let mut c = ProtocolConfig::for_replicas(16);
+        c.max_inflight_blocks = 16;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

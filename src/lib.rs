@@ -45,9 +45,11 @@ pub use orthrus_workload as workload;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use orthrus_core::{run_scenario, Scenario, ScenarioOutcome};
+    pub use orthrus_core::{
+        run_scenario, run_scenarios, run_scenarios_with_threads, Scenario, ScenarioOutcome,
+    };
     pub use orthrus_execution::{Executor, ObjectStore, TxOutcome};
-    pub use orthrus_sim::{FaultPlan, NetworkConfig, StatsCollector};
+    pub use orthrus_sim::{FaultPlan, NetworkConfig, QueueKind, StatsCollector};
     pub use orthrus_types::{
         Amount, Block, ClientId, Duration, InstanceId, NetworkKind, ObjectKey, ProtocolConfig,
         ProtocolKind, ReplicaId, SimTime, Transaction, TxId, TxKind,

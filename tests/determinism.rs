@@ -65,6 +65,58 @@ fn different_seeds_differ() {
     );
 }
 
+/// Differential test for the calendar-queue scheduler: for every protocol,
+/// the heap queue and the calendar queue must produce bit-identical runs —
+/// same counts, same bytes, same latencies, same final state digests and the
+/// same `SimulationReport` (including events processed and peak queue
+/// length, which only depend on the pop order, not the queue internals).
+#[test]
+fn heap_and_calendar_queues_produce_identical_traces() {
+    for protocol in ProtocolKind::ALL {
+        let run = |kind: QueueKind| {
+            let mut s = scenario(13);
+            s.protocol = protocol;
+            s.queue = kind;
+            run_scenario(&s)
+        };
+        let heap = run(QueueKind::Heap);
+        let calendar = run(QueueKind::Calendar);
+        assert_eq!(
+            fingerprint(&heap),
+            fingerprint(&calendar),
+            "{protocol} diverged across queue implementations"
+        );
+        assert_eq!(
+            heap.avg_latency, calendar.avg_latency,
+            "{protocol} latency trace diverged"
+        );
+        assert_eq!(
+            heap.report, calendar.report,
+            "{protocol} simulation report diverged"
+        );
+        assert_eq!(heap.confirmed, heap.submitted, "{protocol} must complete");
+    }
+}
+
+/// The scenario-sweep thread pool must not perturb results: any thread count
+/// yields the same outcomes in the same (input) order.
+#[test]
+fn sweeps_are_deterministic_across_thread_counts() {
+    let scenarios: Vec<Scenario> = (0..4).map(|i| scenario(20 + i)).collect();
+    let serial = run_scenarios_with_threads(&scenarios, 1);
+    let pooled = run_scenarios_with_threads(&scenarios, 3);
+    assert_eq!(serial.len(), pooled.len());
+    for (i, (a, b)) in serial.iter().zip(&pooled).enumerate() {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "scenario {i} diverged across thread counts"
+        );
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.report, b.report);
+    }
+}
+
 #[test]
 fn determinism_holds_for_every_protocol() {
     for protocol in ProtocolKind::ALL {
