@@ -7,6 +7,9 @@
 //!   isolates the benefit of rank-based ordering under a straggler.
 //! * **Multi-payer share** — how much the cross-instance escrow costs as more
 //!   payments span two instances.
+//! * **Hot accounts** — a skewed workload (`zipf_exponent ≥ 1.2`) that
+//!   concentrates load on one bucket / state shard; the per-shard op counts
+//!   recorded in each `MeasuredPoint` quantify the imbalance.
 
 use orthrus_bench::harness::{self, BenchScale};
 use orthrus_types::{NetworkKind, ProtocolKind};
@@ -74,4 +77,35 @@ fn main() {
         points.push(point);
     }
     harness::write_csv("ablation_multi_payer", "multi_payer_pct", &points);
+
+    // Ablation D: hot-account skew (zipf exponent sweep). With exponent
+    // ≥ 1.2 most debits hit a handful of accounts, all serialised by one SB
+    // instance and one state shard — the per-shard op counters in the JSON
+    // make the imbalance measurable across PRs.
+    harness::print_header(
+        &format!("Ablation D — hot-account skew ({replicas} replicas LAN, payments only)"),
+        "zipf exponent",
+    );
+    let mut points = Vec::new();
+    for zipf_tenths in [8u32, 12, 14] {
+        let exponent = f64::from(zipf_tenths) / 10.0;
+        let mut scenario = harness::paper_scenario(
+            ProtocolKind::Orthrus,
+            NetworkKind::Lan,
+            replicas,
+            1.0,
+            false,
+            scale,
+        );
+        scenario.workload = scenario.workload.with_zipf_exponent(exponent);
+        let point = harness::measure("Orthrus", exponent, &scenario);
+        let imbalance = harness::shard_imbalance(&point.shard_ops);
+        println!(
+            "    hottest shard carries {imbalance:.2}x the mean load (ops {:?})",
+            point.shard_ops
+        );
+        harness::print_row(&point);
+        points.push(point);
+    }
+    harness::write_csv("ablation_hot_account", "zipf_exponent", &points);
 }

@@ -110,6 +110,45 @@ pub struct MeasuredPoint {
     /// timed on a busy pool include contention — compare trajectories only
     /// across runs with the same `ORTHRUS_SWEEP_THREADS` setting.
     pub wall_clock_ms: f64,
+    /// Objects per executor state shard at the end of the run (replica 0;
+    /// account shards first, shared-object shard last).
+    pub shard_objects: Vec<u64>,
+    /// Successful store mutations per executor state shard (same layout as
+    /// `shard_objects`). Under a skewed hot-account workload the spread of
+    /// these counters *is* the shard imbalance.
+    pub shard_ops: Vec<u64>,
+}
+
+/// Imbalance of the per-shard op counters (`MeasuredPoint::shard_ops`
+/// layout: account shards first, shared-object shard last): the hottest
+/// account shard's load as a multiple of the mean across account shards.
+/// Returns 0.0 when no account ops were recorded. 1.0 means perfectly even;
+/// a hot-account workload (zipf ≥ 1.2) pushes this well above 1.
+pub fn shard_imbalance(shard_ops: &[u64]) -> f64 {
+    let account_ops = &shard_ops[..shard_ops.len().saturating_sub(1)];
+    let total: u64 = account_ops.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    *account_ops
+        .iter()
+        .max()
+        .expect("total > 0 implies non-empty") as f64
+        * account_ops.len() as f64
+        / total as f64
+}
+
+/// Render a `u64` slice as a JSON array.
+fn json_u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
 }
 
 impl MeasuredPoint {
@@ -127,6 +166,8 @@ impl MeasuredPoint {
             events_processed: outcome.report.events_processed,
             peak_queue_len: outcome.report.peak_queue_len,
             wall_clock_ms: 0.0,
+            shard_objects: outcome.shard_objects.clone(),
+            shard_ops: outcome.shard_ops.clone(),
         }
     }
 
@@ -145,7 +186,8 @@ impl MeasuredPoint {
                 "\"avg_latency_s\":{:.6},\"p99_latency_s\":{:.6},",
                 "\"confirmed\":{},\"submitted\":{},",
                 "\"bytes_sent\":{},\"events_processed\":{},",
-                "\"peak_queue_len\":{},\"wall_clock_ms\":{:.3}}}"
+                "\"peak_queue_len\":{},\"wall_clock_ms\":{:.3},",
+                "\"shard_objects\":{},\"shard_ops\":{}}}"
             ),
             self.protocol,
             self.x,
@@ -158,6 +200,8 @@ impl MeasuredPoint {
             self.events_processed,
             self.peak_queue_len,
             self.wall_clock_ms,
+            json_u64_array(&self.shard_objects),
+            json_u64_array(&self.shard_ops),
         )
     }
 }
@@ -376,6 +420,8 @@ mod tests {
             events_processed: 789,
             peak_queue_len: 321,
             wall_clock_ms: 12.5,
+            shard_objects: vec![10, 12, 3],
+            shard_ops: vec![100, 90, 4],
         };
         let doc = series_json("fig_test", "replicas", &[point.clone(), point]);
         // Structural sanity without a JSON parser: balanced braces/brackets,
@@ -393,6 +439,8 @@ mod tests {
             "\"events_processed\"",
             "\"peak_queue_len\"",
             "\"wall_clock_ms\"",
+            "\"shard_objects\":[10,12,3]",
+            "\"shard_ops\":[100,90,4]",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }

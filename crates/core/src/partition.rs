@@ -7,7 +7,7 @@
 //! instance — which is what prevents double spending without global
 //! ordering.
 
-use orthrus_types::{Digest, InstanceId, ObjectKey, SharedTx, Transaction, TxId};
+use orthrus_types::{InstanceId, ObjectKey, SharedTx, Transaction, TxId};
 use std::collections::{HashSet, VecDeque};
 
 /// The deterministic object → instance assignment function.
@@ -31,10 +31,12 @@ impl Partitioner {
 
     /// The bucket/instance responsible for an owned object: a hash of the
     /// key modulo `m`, as suggested by the paper. Hashing (rather than the
-    /// raw key) spreads adjacent account addresses across instances.
+    /// raw key) spreads adjacent account addresses across instances. The
+    /// routing function itself lives on [`ObjectKey::shard`] so the sharded
+    /// object store and escrow log agree with the partition module about
+    /// which instance owns which account.
     pub fn assign(&self, key: ObjectKey) -> InstanceId {
-        let h = Digest::of(&key).0;
-        InstanceId::new((h % u64::from(self.num_instances)) as u32)
+        InstanceId::new(key.shard(self.num_instances))
     }
 
     /// The set of instances a transaction is assigned to: one per distinct

@@ -99,17 +99,26 @@ pub struct ReplicaNode {
     selfish: bool,
     /// Total number of blocks this replica delivered across instances.
     delivered_blocks: u64,
+    /// Worker count for the parallel plog pool (`sweep_threads()`, resolved
+    /// once at construction — it cannot change mid-run and sits on the
+    /// delivery hot path).
+    pool_threads: usize,
 }
 
 impl ReplicaNode {
-    /// Build a replica for `protocol` with the given genesis state.
+    /// Build a replica for `protocol` with the given genesis state. The
+    /// genesis store is resharded to one account shard per SB instance, so
+    /// the executor's state layout mirrors the partition module's bucket
+    /// layout (digests are shard-count independent, so this never changes
+    /// what the replica computes).
     pub fn new(
         me: ReplicaId,
         protocol: ProtocolKind,
         config: ProtocolConfig,
-        genesis: ObjectStore,
+        mut genesis: ObjectStore,
     ) -> Self {
         let m = config.num_instances;
+        genesis.reshard(m);
         let total_instances = if protocol == ProtocolKind::Dqbft {
             m + 1
         } else {
@@ -142,6 +151,7 @@ impl ReplicaNode {
             replied: HashSet::new(),
             selfish: false,
             delivered_blocks: 0,
+            pool_threads: crate::runner::sweep_threads(),
             config,
         }
     }
@@ -352,54 +362,50 @@ impl ReplicaNode {
         self.try_propose_ordering(ctx);
     }
 
-    /// Walk every partial log and execute blocks whose referenced state `b.S`
-    /// is covered by what we have already executed (paper §V-C).
+    /// Drain every partial-log block whose referenced state `b.S` is covered
+    /// by what we have already executed (paper §V-C) and run the payment
+    /// fast path over the batch.
+    ///
+    /// The drain (`PartialLogs::drain_ready`) yields blocks in the exact
+    /// order the old per-block walk consumed them, so both execution modes
+    /// below produce the same confirmation trace:
+    ///
+    /// * the single-threaded reference path calls
+    ///   [`Executor::process_plog_tx`] per transaction, and
+    /// * the sharded path (`ProtocolConfig::parallel_execution`) hands the
+    ///   batch to [`Executor::process_plog_schedule`], which executes
+    ///   independent instances' shard-local payments on the
+    ///   [`parallel_for_mut`] pool and merges outcomes deterministically.
     fn process_partial_logs(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        let schedule = self.plogs.drain_ready(&mut self.executed_state);
+        if schedule.is_empty() || self.protocol != ProtocolKind::Orthrus {
+            return;
+        }
+        // Fast path: escrow + commit payments straight from the partial logs
+        // (Algorithm 1 lines 20–30).
         let assign = self.partitioner;
-        loop {
-            let mut progressed = false;
-            for i in 0..self.config.num_instances {
-                let instance = InstanceId::new(i);
-                let ready = {
-                    let plog = self.plogs.get_mut(instance);
-                    match plog.first_pending() {
-                        Some(block) => self.executed_state.covers(&block.header.state),
-                        None => false,
-                    }
-                };
-                if !ready {
-                    continue;
+        let confirmations: Vec<(TxId, Option<TxOutcome>)> = if self.config.parallel_execution {
+            let threads = self.pool_threads;
+            self.executor
+                .process_plog_schedule(&schedule, &|key| assign.assign(key), |jobs| {
+                    crate::runner::parallel_for_mut(jobs, threads, |job| job.run());
+                })
+        } else {
+            let mut outcomes = Vec::new();
+            for (instance, block) in &schedule {
+                for tx in &block.txs {
+                    outcomes.push((
+                        tx.id,
+                        self.executor
+                            .process_plog_tx(tx, *instance, &|key| assign.assign(key)),
+                    ));
                 }
-                let block = self
-                    .plogs
-                    .get_mut(instance)
-                    .pop_pending()
-                    .expect("first_pending was Some");
-                if self.protocol == ProtocolKind::Orthrus {
-                    // Fast path: escrow + commit payments straight from the
-                    // partial log (Algorithm 1 lines 20–30).
-                    let outcomes: Vec<(TxId, Option<TxOutcome>)> = block
-                        .txs
-                        .iter()
-                        .map(|tx| {
-                            (
-                                tx.id,
-                                self.executor
-                                    .process_plog_tx(tx, instance, &|key| assign.assign(key)),
-                            )
-                        })
-                        .collect();
-                    for (tx, outcome) in outcomes {
-                        if let Some(outcome) = outcome {
-                            self.confirm_tx(tx, outcome, ctx);
-                        }
-                    }
-                }
-                self.executed_state.observe(instance, block.header.sn);
-                progressed = true;
             }
-            if !progressed {
-                break;
+            outcomes
+        };
+        for (tx, outcome) in confirmations {
+            if let Some(outcome) = outcome {
+                self.confirm_tx(tx, outcome, ctx);
             }
         }
     }

@@ -108,6 +108,14 @@ impl Scenario {
         self.config.max_inflight_blocks = depth;
         self
     }
+
+    /// Enable (or disable) sharded parallel partial-log execution
+    /// (`ProtocolConfig::parallel_execution`). Off by default; both settings
+    /// produce bit-identical traces (the differential tests pin this).
+    pub fn with_parallel_execution(mut self, enabled: bool) -> Self {
+        self.config.parallel_execution = enabled;
+        self
+    }
 }
 
 /// The measurements extracted from one scenario run.
@@ -140,6 +148,13 @@ pub struct ScenarioOutcome {
     /// Final execution-state digest of every replica (honest replicas that
     /// processed the same prefix must agree; used by safety checks).
     pub state_digests: Vec<(ReplicaId, Digest)>,
+    /// Objects per executor state shard at the end of the run (replica 0;
+    /// one entry per account shard, shared-object shard last). Quantifies
+    /// shard imbalance under skewed workloads.
+    pub shard_objects: Vec<u64>,
+    /// Successful store mutations per executor state shard (replica 0; same
+    /// layout as `shard_objects`).
+    pub shard_ops: Vec<u64>,
     /// Raw simulation report (events, messages, bytes).
     pub report: SimulationReport,
 }
@@ -271,6 +286,13 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
                 .map(|node| (id, node.executor().state_digest()))
         })
         .collect();
+    let (shard_objects, shard_ops) = sim
+        .actor_as::<ReplicaNode>(NodeId::replica(0))
+        .map(|node| {
+            let store = node.executor().store();
+            (store.shard_object_counts(), store.shard_op_counts())
+        })
+        .unwrap_or_default();
 
     ScenarioOutcome {
         protocol: scenario.protocol,
@@ -286,6 +308,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         view_changes: stats.view_changes,
         blocks_delivered: stats.blocks_delivered,
         state_digests,
+        shard_objects,
+        shard_ops,
         report: orthrus_sim::SimulationReport {
             end_time: sim.now(),
             events_processed: last_report.events_processed,
@@ -354,6 +378,42 @@ where
                 .expect("every claimed slot was filled")
         })
         .collect()
+}
+
+/// Apply `f` to every item of a mutable slice on the same zero-dependency
+/// scoped pool as [`parallel_map`], for work that needs exclusive access to
+/// each item (e.g. the executor's per-shard plog jobs, which carry `&mut`
+/// state shards). Workers claim items through a shared cursor; each item is
+/// visited exactly once, so the per-item mutation is identical for every
+/// thread count — parallelism changes wall-clock, never results.
+pub fn parallel_for_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut T>> =
+        items.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                // Claimed indices are unique, so the lock is uncontended; it
+                // exists to hand the `&mut` across the thread boundary safely.
+                f(&mut slots[i].lock().expect("no panics while holding the lock"));
+            });
+        }
+    });
 }
 
 /// Run independent scenarios in parallel (one deterministic seeded

@@ -14,51 +14,143 @@
 //! balance and records `(object, tx) → amount` in the escrow log (`elog`).
 //! Committing drops the reservation (the funds are gone for good); aborting
 //! refunds it.
+//!
+//! # Sharding
+//!
+//! Reservations are split across shards with the same routing function as
+//! the object store ([`ObjectKey::shard`]): the reservation for a payer leg
+//! lives next to the account it locks. Commit and abort walk the
+//! transaction's payer legs and remove exactly those reservations — O(legs)
+//! instead of the former O(outstanding-entries) retain scan, which matters
+//! when thousands of contract escrows sit waiting for global ordering while
+//! the payment fast path keeps committing.
 
 use crate::store::ObjectStore;
 use orthrus_types::{Amount, ObjectKey, ObjectOp, Operation, Transaction, TxId};
 use std::collections::BTreeMap;
 
-/// The escrow log (`elog`): outstanding reservations.
+/// One shard of the escrow log: the outstanding reservations whose account
+/// keys route to this shard, plus a running total.
 #[derive(Debug, Clone, Default)]
-pub struct EscrowLog {
+pub struct EscrowShard {
     entries: BTreeMap<(ObjectKey, TxId), Amount>,
+    reserved: u128,
 }
 
-impl EscrowLog {
-    /// An empty escrow log.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Number of outstanding reservations.
+impl EscrowShard {
+    /// Number of outstanding reservations in this shard.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Is the log empty?
+    /// Is the shard empty?
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Is `(object, tx)` currently escrowed?
+    /// Is `(object, tx)` reserved in this shard?
     pub fn contains(&self, object: ObjectKey, tx: TxId) -> bool {
         self.entries.contains_key(&(object, tx))
     }
 
-    /// Total amount currently reserved across all transactions (used by
-    /// supply-conservation checks).
+    /// Record a reservation. Overwriting an existing `(object, tx)` entry
+    /// replaces its amount in the running total as well.
+    pub fn insert(&mut self, object: ObjectKey, tx: TxId, amount: Amount) {
+        if let Some(old) = self.entries.insert((object, tx), amount) {
+            self.reserved -= u128::from(old);
+        }
+        self.reserved += u128::from(amount);
+    }
+
+    /// Drop a reservation, returning its amount if it existed.
+    pub fn remove(&mut self, object: ObjectKey, tx: TxId) -> Option<Amount> {
+        let amount = self.entries.remove(&(object, tx))?;
+        self.reserved -= u128::from(amount);
+        Some(amount)
+    }
+
+    /// Total amount reserved in this shard.
     pub fn total_reserved(&self) -> u128 {
-        self.entries.values().map(|a| u128::from(*a)).sum()
+        self.reserved
+    }
+
+    /// Total amount reserved against one account in this shard.
+    fn reserved_for(&self, object: ObjectKey) -> Amount {
+        self.entries
+            .range((object, TxId::default())..)
+            .take_while(|((key, _), _)| *key == object)
+            .map(|(_, amount)| *amount)
+            .sum()
+    }
+}
+
+/// The escrow log (`elog`): outstanding reservations, sharded by account.
+#[derive(Debug, Clone)]
+pub struct EscrowLog {
+    shards: Vec<EscrowShard>,
+}
+
+impl Default for EscrowLog {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
+}
+
+impl EscrowLog {
+    /// An empty escrow log with a single shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty escrow log with `shards` shards (matched to the object
+    /// store's account-shard count by the executor).
+    pub fn with_shards(shards: u32) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| EscrowShard::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    #[inline]
+    fn route(&self, key: ObjectKey) -> usize {
+        key.shard(self.shards.len() as u32) as usize
+    }
+
+    /// Mutable access to the shard slice, for the executor's parallel plog
+    /// workers (shard `i` of the log pairs with account shard `i` of the
+    /// store).
+    pub fn shards_mut(&mut self) -> &mut [EscrowShard] {
+        &mut self.shards
+    }
+
+    /// Number of outstanding reservations.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EscrowShard::len).sum()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(EscrowShard::is_empty)
+    }
+
+    /// Is `(object, tx)` currently escrowed?
+    pub fn contains(&self, object: ObjectKey, tx: TxId) -> bool {
+        self.shards[self.route(object)].contains(object, tx)
+    }
+
+    /// Total amount currently reserved across all transactions (used by
+    /// supply-conservation checks). O(shards): folds the running totals.
+    pub fn total_reserved(&self) -> u128 {
+        self.shards.iter().map(EscrowShard::total_reserved).sum()
     }
 
     /// Total amount currently reserved against a specific account.
     pub fn reserved_for(&self, object: ObjectKey) -> Amount {
-        self.entries
-            .iter()
-            .filter(|((key, _), _)| *key == object)
-            .map(|(_, amount)| *amount)
-            .sum()
+        self.shards[self.route(object)].reserved_for(object)
     }
 
     /// Attempt to escrow the owned-decrement leg `leg` of transaction `tx`
@@ -84,7 +176,8 @@ impl EscrowLog {
         if store.debit(leg.key, amount).is_err() {
             return false;
         }
-        self.entries.insert((leg.key, tx), amount);
+        let shard = self.route(leg.key);
+        self.shards[shard].insert(leg.key, tx, amount);
         true
     }
 
@@ -98,24 +191,25 @@ impl EscrowLog {
     }
 
     /// Algorithm 2, `commitEscrow`: drop every reservation of `tx`. The
-    /// deducted funds become permanently spent.
+    /// deducted funds become permanently spent. Reservations of a
+    /// transaction exist only under its own payer-leg keys, so walking the
+    /// legs removes exactly the reservations the old full-log retain did.
     pub fn commit(&mut self, tx: &Transaction) {
-        self.entries.retain(|(_, id), _| *id != tx.id);
+        for leg in tx.ops.iter().filter(|leg| leg.is_owned_decrement()) {
+            let shard = self.route(leg.key);
+            self.shards[shard].remove(leg.key, tx.id);
+        }
     }
 
     /// Algorithm 2, `abortEscrow`: refund and drop every reservation of `tx`.
     pub fn abort(&mut self, store: &mut ObjectStore, tx: &Transaction) {
-        let refunds: Vec<(ObjectKey, Amount)> = self
-            .entries
-            .iter()
-            .filter(|((_, id), _)| *id == tx.id)
-            .map(|((key, _), amount)| (*key, *amount))
-            .collect();
-        for (key, amount) in refunds {
-            // Refunding cannot fail: the account existed when the escrow was
-            // taken and credits never fail on owned objects.
-            let _ = store.credit(key, amount);
-            self.entries.remove(&(key, tx.id));
+        for leg in tx.ops.iter().filter(|leg| leg.is_owned_decrement()) {
+            let shard = self.route(leg.key);
+            if let Some(amount) = self.shards[shard].remove(leg.key, tx.id) {
+                // Refunding cannot fail: the account existed when the escrow
+                // was taken and credits never fail on owned objects.
+                let _ = store.credit(leg.key, amount);
+            }
         }
     }
 }
@@ -186,6 +280,7 @@ mod tests {
         assert!(elog.all_escrowed(&tx));
         elog.commit(&tx);
         assert!(elog.is_empty());
+        assert_eq!(elog.total_reserved(), 0);
         // Funds stay deducted after a commit.
         assert_eq!(store.balance(key(1)), 70);
     }
@@ -219,6 +314,48 @@ mod tests {
         let first_leg = tx.ops.iter().find(|l| l.is_owned_decrement()).unwrap();
         elog.escrow(&mut store, first_leg, tx.id);
         assert!(!elog.all_escrowed(&tx));
+    }
+
+    #[test]
+    fn shard_insert_overwrite_replaces_reserved_total() {
+        let mut log = EscrowLog::with_shards(2);
+        let shard = &mut log.shards_mut()[0];
+        shard.insert(key(1), txid(0), 5);
+        shard.insert(key(1), txid(0), 10);
+        assert_eq!(shard.total_reserved(), 10);
+        assert_eq!(shard.remove(key(1), txid(0)), Some(10));
+        assert_eq!(shard.total_reserved(), 0);
+    }
+
+    #[test]
+    fn sharded_log_matches_single_shard_accounting() {
+        let mut single = EscrowLog::with_shards(1);
+        let mut sharded = EscrowLog::with_shards(8);
+        let mut store_a = ObjectStore::new();
+        let mut store_b = ObjectStore::with_shards(8);
+        for k in 1..=16u64 {
+            store_a.create_account(key(k), 1_000);
+            store_b.create_account(key(k), 1_000);
+        }
+        for i in 0..40u64 {
+            let payer = ClientId::new(1 + (i % 16));
+            let tx = Transaction::payment(txid(i), payer, ClientId::new(99), 5 + i);
+            let leg = ObjectOp::debit(ObjectKey::account_of(payer), 5 + i);
+            assert_eq!(
+                single.escrow(&mut store_a, &leg, tx.id),
+                sharded.escrow(&mut store_b, &leg, tx.id)
+            );
+            if i % 3 == 0 {
+                single.commit(&tx);
+                sharded.commit(&tx);
+            } else if i % 3 == 1 {
+                single.abort(&mut store_a, &tx);
+                sharded.abort(&mut store_b, &tx);
+            }
+            assert_eq!(single.len(), sharded.len());
+            assert_eq!(single.total_reserved(), sharded.total_reserved());
+            assert_eq!(store_a.digest(), store_b.digest());
+        }
     }
 
     /// Conservation of supply: spendable balances plus escrow reservations

@@ -23,6 +23,6 @@ pub mod escrow;
 pub mod executor;
 pub mod store;
 
-pub use escrow::EscrowLog;
-pub use executor::{Executor, TxOutcome};
-pub use store::{ObjectState, ObjectStore};
+pub use escrow::{EscrowLog, EscrowShard};
+pub use executor::{Executor, PlogShardJob, TxOutcome};
+pub use store::{ObjectState, ObjectStore, StoreShard};

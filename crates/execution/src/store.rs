@@ -6,6 +6,27 @@
 //! assignment / arithmetic updates. The store is purely local state — every
 //! replica has its own copy and the protocols above keep the copies
 //! consistent.
+//!
+//! # Sharding
+//!
+//! The store is split into `m` account shards plus one dedicated shard for
+//! shared objects. An owned object lives in the shard selected by
+//! [`ObjectKey::shard`] — the same routing function `Partitioner::assign`
+//! uses to map accounts to SB instances — so the accounts instance `i`
+//! serialises are exactly the objects shard `i` owns. That is what lets the
+//! executor hand disjoint `&mut` shards to per-instance workers when it
+//! executes independent partial logs in parallel.
+//!
+//! # Incremental digests
+//!
+//! Each shard maintains a running accumulator: the wrapping sum of the
+//! digests of its entries, adjusted on every write. [`ObjectStore::digest`]
+//! folds the `m + 1` accumulators instead of rescanning every object, so the
+//! steady-state cost is O(m) rather than O(objects). The accumulator is
+//! commutative, which makes the digest independent of the shard count — a
+//! single-shard store and a 16-way sharded store holding the same objects
+//! produce the same digest ([`ObjectStore::rescan_digest`] pins the
+//! equivalence in tests).
 
 use orthrus_types::{Amount, Digest, ObjectKey, OrthrusError, Result, Value};
 use std::collections::BTreeMap;
@@ -25,40 +46,56 @@ pub enum ObjectState {
     },
 }
 
-/// The store of all objects known to a replica.
-#[derive(Debug, Clone, Default)]
-pub struct ObjectStore {
-    objects: BTreeMap<ObjectKey, ObjectState>,
+impl ObjectState {
+    /// Deterministic digest of one `(key, state)` entry. The formula is the
+    /// per-entry digest the unsharded store used, so state fingerprints stay
+    /// comparable across shard layouts.
+    fn entry_digest(key: ObjectKey, state: &ObjectState) -> u64 {
+        match state {
+            ObjectState::Owned { balance } => Digest::of(&(key, 0u8, *balance)).0,
+            ObjectState::Shared { value } => Digest::of(&(key, 1u8, *value as u64)).0,
+        }
+    }
 }
 
-impl ObjectStore {
-    /// An empty store.
-    pub fn new() -> Self {
-        Self::default()
-    }
+/// One shard of the object store: a key-ordered map plus running aggregates
+/// (digest accumulator, owned-balance total, mutation count) maintained on
+/// every write.
+#[derive(Debug, Clone, Default)]
+pub struct StoreShard {
+    objects: BTreeMap<ObjectKey, ObjectState>,
+    /// Wrapping sum of the entry digests of everything in `objects`.
+    acc: u64,
+    /// Sum of the owned balances in this shard.
+    owned_total: u128,
+    /// Number of successful mutating operations (credit / debit / shared
+    /// writes) applied to this shard — the per-shard load counter surfaced by
+    /// `MeasuredPoint` to quantify shard imbalance under skewed workloads.
+    ops: u64,
+}
 
-    /// Create (or reset) an owned account with the given initial balance.
-    pub fn create_account(&mut self, key: ObjectKey, balance: Amount) {
-        self.objects.insert(key, ObjectState::Owned { balance });
-    }
-
-    /// Create (or reset) a shared object with the given initial value.
-    pub fn create_shared(&mut self, key: ObjectKey, value: Value) {
-        self.objects.insert(key, ObjectState::Shared { value });
-    }
-
-    /// Number of objects in the store.
+impl StoreShard {
+    /// Number of objects in the shard.
     pub fn len(&self) -> usize {
         self.objects.len()
     }
 
-    /// Is the store empty?
+    /// Is the shard empty?
     pub fn is_empty(&self) -> bool {
         self.objects.is_empty()
     }
 
-    /// The balance of an owned account (zero if the account does not exist
-    /// yet — accounts spring into existence on first credit).
+    /// Successful mutating operations applied to this shard so far.
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// Does the shard hold this key?
+    pub fn contains(&self, key: ObjectKey) -> bool {
+        self.objects.contains_key(&key)
+    }
+
+    /// Balance of an owned account in this shard (zero if absent).
     pub fn balance(&self, key: ObjectKey) -> Amount {
         match self.objects.get(&key) {
             Some(ObjectState::Owned { balance }) => *balance,
@@ -66,7 +103,7 @@ impl ObjectStore {
         }
     }
 
-    /// The value of a shared object (zero if it does not exist yet).
+    /// Value of a shared object in this shard (zero if absent).
     pub fn shared_value(&self, key: ObjectKey) -> Value {
         match self.objects.get(&key) {
             Some(ObjectState::Shared { value }) => *value,
@@ -74,43 +111,62 @@ impl ObjectStore {
         }
     }
 
-    /// Does the account have at least `amount` available?
-    pub fn can_debit(&self, key: ObjectKey, amount: Amount) -> bool {
-        self.balance(key) >= amount
-    }
-
-    /// Credit `amount` tokens to the owned account `key`, creating it if
-    /// needed.
-    pub fn credit(&mut self, key: ObjectKey, amount: Amount) -> Result<()> {
-        match self
-            .objects
-            .entry(key)
-            .or_insert(ObjectState::Owned { balance: 0 })
-        {
-            ObjectState::Owned { balance } => {
-                *balance = balance.saturating_add(amount);
-                Ok(())
+    /// Insert or replace an entry, keeping the aggregates in sync.
+    fn put(&mut self, key: ObjectKey, state: ObjectState) {
+        if let Some(old) = self.objects.insert(key, state) {
+            self.acc = self.acc.wrapping_sub(ObjectState::entry_digest(key, &old));
+            if let ObjectState::Owned { balance } = old {
+                self.owned_total -= u128::from(balance);
             }
-            ObjectState::Shared { .. } => Err(OrthrusError::TypeMismatch {
-                object: key,
-                reason: "credit applied to a shared object".into(),
-            }),
+        }
+        self.acc = self
+            .acc
+            .wrapping_add(ObjectState::entry_digest(key, &state));
+        if let ObjectState::Owned { balance } = state {
+            self.owned_total += u128::from(balance);
         }
     }
 
-    /// Debit `amount` tokens from the owned account `key`. Fails (leaving the
-    /// store unchanged) if the balance is insufficient or the object is not
-    /// an account.
+    /// Remove an entry, keeping the aggregates in sync.
+    fn remove(&mut self, key: ObjectKey) -> Option<ObjectState> {
+        let old = self.objects.remove(&key)?;
+        self.acc = self.acc.wrapping_sub(ObjectState::entry_digest(key, &old));
+        if let ObjectState::Owned { balance } = old {
+            self.owned_total -= u128::from(balance);
+        }
+        Some(old)
+    }
+
+    /// Credit an owned account in this shard, creating it if needed. The
+    /// caller is responsible for having routed the key here and for the
+    /// cross-shard type check (see [`ObjectStore::credit`]); within a shard
+    /// only owned entries exist for account keys.
+    pub fn credit(&mut self, key: ObjectKey, amount: Amount) {
+        let balance = self.balance(key).saturating_add(amount);
+        self.put(key, ObjectState::Owned { balance });
+        self.ops += 1;
+    }
+
+    /// Debit an owned account in this shard. Fails (leaving the shard
+    /// unchanged) on insufficient balance or a missing account.
     pub fn debit(&mut self, key: ObjectKey, amount: Amount) -> Result<()> {
-        match self.objects.get_mut(&key) {
+        match self.objects.get(&key) {
             Some(ObjectState::Owned { balance }) => {
-                if *balance < amount {
-                    return Err(OrthrusError::EscrowFailed {
+                let have = *balance;
+                if have < amount {
+                    return Err(OrthrusError::InsufficientBalance {
                         object: key,
-                        tx: orthrus_types::TxId::default(),
+                        have,
+                        need: amount,
                     });
                 }
-                *balance -= amount;
+                self.put(
+                    key,
+                    ObjectState::Owned {
+                        balance: have - amount,
+                    },
+                );
+                self.ops += 1;
                 Ok(())
             }
             Some(ObjectState::Shared { .. }) => Err(OrthrusError::TypeMismatch {
@@ -121,72 +177,245 @@ impl ObjectStore {
         }
     }
 
+    fn write_shared(&mut self, key: ObjectKey, value: Value) {
+        self.put(key, ObjectState::Shared { value });
+        self.ops += 1;
+    }
+
+    /// Iterate over the shard's objects in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectKey, &ObjectState)> {
+        self.objects.iter()
+    }
+}
+
+/// The store of all objects known to a replica: `m` account shards plus a
+/// dedicated shard for shared (contract) objects.
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    accounts: Vec<StoreShard>,
+    shared: StoreShard,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
+}
+
+impl ObjectStore {
+    /// An empty store with a single account shard (the unsharded layout).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty store with `shards` account shards (plus the shared-object
+    /// shard).
+    pub fn with_shards(shards: u32) -> Self {
+        Self {
+            accounts: (0..shards.max(1)).map(|_| StoreShard::default()).collect(),
+            shared: StoreShard::default(),
+        }
+    }
+
+    /// Number of account shards.
+    pub fn num_account_shards(&self) -> u32 {
+        self.accounts.len() as u32
+    }
+
+    /// Re-split the store into `shards` account shards, re-routing every
+    /// owned object. Digests are shard-count independent, so resharding never
+    /// changes [`ObjectStore::digest`]. Used when a replica adopts a genesis
+    /// store built with the default layout.
+    pub fn reshard(&mut self, shards: u32) {
+        let shards = shards.max(1);
+        if self.accounts.len() == shards as usize {
+            return;
+        }
+        let old = std::mem::take(&mut self.accounts);
+        self.accounts = (0..shards).map(|_| StoreShard::default()).collect();
+        let mut ops = 0u64;
+        for shard in old {
+            ops += shard.ops;
+            for (key, state) in shard.objects {
+                self.accounts[key.shard(shards) as usize].put(key, state);
+            }
+        }
+        // Mutation history cannot be attributed to the new layout; park it on
+        // shard 0 so global op totals survive a reshard.
+        self.accounts[0].ops += ops;
+    }
+
+    #[inline]
+    fn route(&self, key: ObjectKey) -> usize {
+        key.shard(self.accounts.len() as u32) as usize
+    }
+
+    /// Create (or reset) an owned account with the given initial balance.
+    pub fn create_account(&mut self, key: ObjectKey, balance: Amount) {
+        // A key has exactly one live entry across the whole store: creating
+        // it as an account evicts any shared record under the same key (the
+        // unsharded store's `insert` semantics).
+        self.shared.remove(key);
+        let shard = self.route(key);
+        self.accounts[shard].put(key, ObjectState::Owned { balance });
+    }
+
+    /// Create (or reset) a shared object with the given initial value.
+    pub fn create_shared(&mut self, key: ObjectKey, value: Value) {
+        let shard = self.route(key);
+        self.accounts[shard].remove(key);
+        self.shared.put(key, ObjectState::Shared { value });
+    }
+
+    /// Number of objects in the store.
+    pub fn len(&self) -> usize {
+        self.accounts.iter().map(StoreShard::len).sum::<usize>() + self.shared.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The balance of an owned account (zero if the account does not exist
+    /// yet — accounts spring into existence on first credit).
+    pub fn balance(&self, key: ObjectKey) -> Amount {
+        self.accounts[self.route(key)].balance(key)
+    }
+
+    /// The value of a shared object (zero if it does not exist yet).
+    pub fn shared_value(&self, key: ObjectKey) -> Value {
+        self.shared.shared_value(key)
+    }
+
+    /// Does the account have at least `amount` available?
+    pub fn can_debit(&self, key: ObjectKey, amount: Amount) -> bool {
+        self.balance(key) >= amount
+    }
+
+    /// Credit `amount` tokens to the owned account `key`, creating it if
+    /// needed.
+    pub fn credit(&mut self, key: ObjectKey, amount: Amount) -> Result<()> {
+        let shard = self.route(key);
+        if !self.accounts[shard].contains(key) && self.shared.contains(key) {
+            return Err(OrthrusError::TypeMismatch {
+                object: key,
+                reason: "credit applied to a shared object".into(),
+            });
+        }
+        self.accounts[shard].credit(key, amount);
+        Ok(())
+    }
+
+    /// Debit `amount` tokens from the owned account `key`. Fails (leaving the
+    /// store unchanged) if the balance is insufficient or the object is not
+    /// an account.
+    pub fn debit(&mut self, key: ObjectKey, amount: Amount) -> Result<()> {
+        let shard = self.route(key);
+        if !self.accounts[shard].contains(key) && self.shared.contains(key) {
+            return Err(OrthrusError::TypeMismatch {
+                object: key,
+                reason: "debit applied to a shared object".into(),
+            });
+        }
+        self.accounts[shard].debit(key, amount)
+    }
+
     /// Assign `value` to the shared object `key`, creating it if needed.
     pub fn set_shared(&mut self, key: ObjectKey, value: Value) -> Result<()> {
-        match self
-            .objects
-            .entry(key)
-            .or_insert(ObjectState::Shared { value: 0 })
-        {
-            ObjectState::Shared { value: v } => {
-                *v = value;
-                Ok(())
-            }
-            ObjectState::Owned { .. } => Err(OrthrusError::TypeMismatch {
+        if !self.shared.contains(key) && self.accounts[self.route(key)].contains(key) {
+            return Err(OrthrusError::TypeMismatch {
                 object: key,
                 reason: "contract write applied to an owned account".into(),
-            }),
+            });
         }
+        self.shared.write_shared(key, value);
+        Ok(())
     }
 
     /// Add `delta` to the shared object `key`, creating it if needed.
     pub fn add_shared(&mut self, key: ObjectKey, delta: Value) -> Result<()> {
-        match self
-            .objects
-            .entry(key)
-            .or_insert(ObjectState::Shared { value: 0 })
-        {
-            ObjectState::Shared { value } => {
-                *value = value.saturating_add(delta);
-                Ok(())
-            }
-            ObjectState::Owned { .. } => Err(OrthrusError::TypeMismatch {
+        if !self.shared.contains(key) && self.accounts[self.route(key)].contains(key) {
+            return Err(OrthrusError::TypeMismatch {
                 object: key,
                 reason: "contract update applied to an owned account".into(),
-            }),
+            });
         }
+        let value = self.shared.shared_value(key).saturating_add(delta);
+        self.shared.write_shared(key, value);
+        Ok(())
     }
 
     /// Sum of all account balances (used by conservation-of-supply checks;
-    /// escrowed amounts are tracked separately by the escrow log).
+    /// escrowed amounts are tracked separately by the escrow log). O(m):
+    /// folds the per-shard running totals.
     pub fn total_balance(&self) -> u128 {
-        self.objects
-            .values()
-            .map(|o| match o {
-                ObjectState::Owned { balance } => u128::from(*balance),
-                ObjectState::Shared { .. } => 0,
-            })
-            .sum()
+        self.accounts.iter().map(|s| s.owned_total).sum()
     }
 
     /// Deterministic digest of the full store contents, used to compare
     /// replica states (the paper's safety property: replicas in the same
     /// state have consistent values for all objects).
+    ///
+    /// O(m): folds the per-shard accumulators maintained on every write. The
+    /// commutative accumulator makes the digest independent of the shard
+    /// layout, so sharded and unsharded replicas of the same state agree.
     pub fn digest(&self) -> Digest {
-        let mut digest = Digest::EMPTY;
-        for (key, state) in &self.objects {
-            let entry = match state {
-                ObjectState::Owned { balance } => Digest::of(&(key, 0u8, *balance)),
-                ObjectState::Shared { value } => Digest::of(&(key, 1u8, *value as u64)),
-            };
-            digest = digest.combine(entry);
+        let mut acc = self.shared.acc;
+        let mut len = self.shared.len() as u64;
+        for shard in &self.accounts {
+            acc = acc.wrapping_add(shard.acc);
+            len += shard.len() as u64;
         }
-        digest
+        Digest::of(&(acc, len))
     }
 
-    /// Iterate over all objects.
+    /// Recompute [`ObjectStore::digest`] from scratch by walking every
+    /// object. Used by tests and benches to pin the incremental accumulator
+    /// against a full rescan.
+    pub fn rescan_digest(&self) -> Digest {
+        let mut acc = 0u64;
+        let mut len = 0u64;
+        for (key, state) in self.iter() {
+            acc = acc.wrapping_add(ObjectState::entry_digest(*key, state));
+            len += 1;
+        }
+        Digest::of(&(acc, len))
+    }
+
+    /// Iterate over all objects, account shards first (in shard order, keys
+    /// ordered within a shard), then the shared-object shard.
     pub fn iter(&self) -> impl Iterator<Item = (&ObjectKey, &ObjectState)> {
-        self.objects.iter()
+        self.accounts
+            .iter()
+            .flat_map(StoreShard::iter)
+            .chain(self.shared.iter())
+    }
+
+    /// Per-shard object counts: one entry per account shard, then the
+    /// shared-object shard last.
+    pub fn shard_object_counts(&self) -> Vec<u64> {
+        self.accounts
+            .iter()
+            .map(|s| s.len() as u64)
+            .chain(std::iter::once(self.shared.len() as u64))
+            .collect()
+    }
+
+    /// Per-shard mutation counts (successful credits/debits/shared writes):
+    /// one entry per account shard, then the shared-object shard last.
+    pub fn shard_op_counts(&self) -> Vec<u64> {
+        self.accounts
+            .iter()
+            .map(StoreShard::op_count)
+            .chain(std::iter::once(self.shared.op_count()))
+            .collect()
+    }
+
+    /// Split the store into its mutable account shards and the (read-only)
+    /// shared shard, for the executor's parallel plog workers.
+    pub fn split_shards_mut(&mut self) -> (&mut [StoreShard], &StoreShard) {
+        (&mut self.accounts, &self.shared)
     }
 }
 
@@ -228,6 +457,21 @@ mod tests {
     }
 
     #[test]
+    fn overdraft_reports_insufficient_balance() {
+        let mut store = ObjectStore::new();
+        store.create_account(key(1), 10);
+        assert_eq!(
+            store.debit(key(1), 11),
+            Err(OrthrusError::InsufficientBalance {
+                object: key(1),
+                have: 10,
+                need: 11,
+            })
+        );
+        assert_eq!(store.balance(key(1)), 10);
+    }
+
+    #[test]
     fn shared_objects() {
         let mut store = ObjectStore::new();
         store.set_shared(key(100), 42).unwrap();
@@ -250,6 +494,34 @@ mod tests {
     }
 
     #[test]
+    fn type_mismatches_are_rejected_on_every_shard_layout() {
+        for shards in [1u32, 4, 16] {
+            let mut store = ObjectStore::with_shards(shards);
+            store.create_account(key(1), 10);
+            store.create_shared(key(2), 0);
+            assert!(store.set_shared(key(1), 5).is_err());
+            assert!(store.add_shared(key(1), 5).is_err());
+            assert!(store.credit(key(2), 5).is_err());
+            assert!(store.debit(key(2), 5).is_err());
+        }
+    }
+
+    #[test]
+    fn recreation_swaps_the_object_type() {
+        let mut store = ObjectStore::with_shards(4);
+        store.create_account(key(5), 10);
+        store.create_shared(key(5), 3);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.shared_value(key(5)), 3);
+        assert_eq!(store.balance(key(5)), 0);
+        store.create_account(key(5), 7);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.balance(key(5)), 7);
+        assert_eq!(store.shared_value(key(5)), 0);
+        assert_eq!(store.digest(), store.rescan_digest());
+    }
+
+    #[test]
     fn digest_reflects_state() {
         let mut a = ObjectStore::new();
         let mut b = ObjectStore::new();
@@ -261,11 +533,70 @@ mod tests {
     }
 
     #[test]
+    fn digest_is_shard_count_independent() {
+        let build = |shards: u32| {
+            let mut store = ObjectStore::with_shards(shards);
+            for k in 0..200u64 {
+                store.create_account(key(k), k * 3);
+            }
+            for k in 0..20u64 {
+                store.create_shared(key(1_000_000 + k), k as i64 - 5);
+            }
+            store.debit(key(3), 4).unwrap();
+            store.credit(key(7), 11).unwrap();
+            store.add_shared(key(1_000_001), 9).unwrap();
+            store
+        };
+        let one = build(1);
+        let four = build(4);
+        let sixteen = build(16);
+        assert_eq!(one.digest(), four.digest());
+        assert_eq!(four.digest(), sixteen.digest());
+        assert_eq!(one.digest(), one.rescan_digest());
+        assert_eq!(sixteen.digest(), sixteen.rescan_digest());
+        assert_eq!(one.total_balance(), sixteen.total_balance());
+    }
+
+    #[test]
+    fn reshard_preserves_contents_and_digest() {
+        let mut store = ObjectStore::new();
+        for k in 0..100u64 {
+            store.create_account(key(k), k + 1);
+        }
+        store.create_shared(key(1 << 40), 12);
+        let before = (store.digest(), store.total_balance(), store.len());
+        store.reshard(8);
+        assert_eq!(store.num_account_shards(), 8);
+        assert_eq!((store.digest(), store.total_balance(), store.len()), before);
+        assert_eq!(store.balance(key(42)), 43);
+        assert_eq!(store.digest(), store.rescan_digest());
+    }
+
+    #[test]
     fn total_balance_ignores_shared_objects() {
         let mut store = ObjectStore::new();
         store.create_account(key(1), 10);
         store.create_account(key(2), 5);
         store.create_shared(key(3), 1_000);
         assert_eq!(store.total_balance(), 15);
+    }
+
+    #[test]
+    fn shard_counters_track_objects_and_ops() {
+        let mut store = ObjectStore::with_shards(4);
+        for k in 0..40u64 {
+            store.create_account(key(k), 100);
+        }
+        store.create_shared(key(1 << 30), 0);
+        let objects = store.shard_object_counts();
+        assert_eq!(objects.len(), 5);
+        assert_eq!(objects.iter().sum::<u64>(), 41);
+        assert_eq!(*objects.last().unwrap(), 1);
+        // Creates are not ops; a credit and a shared write are.
+        assert_eq!(store.shard_op_counts().iter().sum::<u64>(), 0);
+        store.credit(key(1), 1).unwrap();
+        store.add_shared(key(1 << 30), 2).unwrap();
+        assert_eq!(store.shard_op_counts().iter().sum::<u64>(), 2);
+        assert_eq!(*store.shard_op_counts().last().unwrap(), 1);
     }
 }

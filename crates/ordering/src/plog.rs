@@ -5,7 +5,7 @@
 //! log in sequence-number order ("first pending transaction") to execute
 //! payment transactions without waiting for the global log.
 
-use orthrus_types::{InstanceId, SeqNum, SharedBlock};
+use orthrus_types::{InstanceId, SeqNum, SharedBlock, SystemState};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -118,6 +118,41 @@ impl PartialLogs {
     pub fn total_blocks(&self) -> usize {
         self.logs.values().map(PartialLog::len).sum()
     }
+
+    /// Drain every block that is ready for execution: repeatedly sweep the
+    /// instances in id order, popping each instance's first pending block
+    /// whose referenced state `b.S` is covered by `executed` (paper §V-C) and
+    /// recording its delivery in `executed`, until a full sweep makes no
+    /// progress. The returned *schedule* — `(instance, block)` pairs in pop
+    /// order — is exactly the order the replica's old serial walk consumed
+    /// blocks in, so executing it (serially or via the executor's shard
+    /// pool) preserves the confirmation trace bit for bit.
+    ///
+    /// Readiness depends only on delivery coverage, never on execution
+    /// outcomes, which is why the schedule can be computed up front and
+    /// handed to the execution module as one batch.
+    pub fn drain_ready(&mut self, executed: &mut SystemState) -> Vec<(InstanceId, SharedBlock)> {
+        let mut schedule = Vec::new();
+        loop {
+            let mut progressed = false;
+            for (instance, log) in self.logs.iter_mut() {
+                let ready = log
+                    .first_pending()
+                    .is_some_and(|block| executed.covers(&block.header.state));
+                if !ready {
+                    continue;
+                }
+                let block = log.pop_pending().expect("first_pending was Some");
+                executed.observe(*instance, block.header.sn);
+                schedule.push((*instance, block));
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        schedule
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +228,61 @@ mod tests {
         let mut logs = PartialLogs::new(1);
         logs.get_mut(InstanceId::new(5)).insert(block(5, 0));
         assert!(logs.get(InstanceId::new(5)).is_some());
+    }
+
+    fn block_with_state(instance: u32, sn: u64, state: SystemState) -> SharedBlock {
+        Arc::new(orthrus_types::Block::no_op(BlockParams {
+            instance: InstanceId::new(instance),
+            sn: SeqNum::new(sn),
+            epoch: Epoch::new(0),
+            view: View::new(0),
+            proposer: ReplicaId::new(instance),
+            rank: Rank::new(sn),
+            state,
+        }))
+    }
+
+    #[test]
+    fn drain_ready_pops_in_sweep_order_and_respects_coverage() {
+        let mut logs = PartialLogs::new(2);
+        // Instance 1's second block requires instance 0 to have delivered
+        // sn 0 first.
+        let mut needs_i0 = SystemState::new(2);
+        needs_i0.observe(InstanceId::new(0), SeqNum::new(0));
+        logs.get_mut(InstanceId::new(0)).insert(block(0, 0));
+        logs.get_mut(InstanceId::new(1))
+            .insert(block_with_state(1, 0, SystemState::new(2)));
+        logs.get_mut(InstanceId::new(1))
+            .insert(block_with_state(1, 1, needs_i0));
+
+        let mut executed = SystemState::new(2);
+        let schedule = logs.drain_ready(&mut executed);
+        // Sweep 1 pops (0, sn0) then (1, sn0); sweep 2 pops (1, sn1), which
+        // became ready once instance 0's delivery was observed.
+        let shape: Vec<(u32, u64)> = schedule
+            .iter()
+            .map(|(i, b)| (i.value(), b.header.sn.value()))
+            .collect();
+        assert_eq!(shape, vec![(0, 0), (1, 0), (1, 1)]);
+        assert_eq!(executed.get(InstanceId::new(0)), Some(SeqNum::new(0)));
+        assert_eq!(executed.get(InstanceId::new(1)), Some(SeqNum::new(1)));
+        // Nothing left to drain.
+        assert!(logs.drain_ready(&mut executed).is_empty());
+    }
+
+    #[test]
+    fn drain_ready_leaves_uncovered_blocks_pending() {
+        let mut logs = PartialLogs::new(1);
+        let mut unreachable = SystemState::new(1);
+        unreachable.observe(InstanceId::new(0), SeqNum::new(99));
+        logs.get_mut(InstanceId::new(0))
+            .insert(block_with_state(0, 0, unreachable));
+        let mut executed = SystemState::new(1);
+        assert!(logs.drain_ready(&mut executed).is_empty());
+        assert_eq!(logs.total_blocks(), 1);
+        assert_eq!(
+            logs.get(InstanceId::new(0)).unwrap().cursor(),
+            SeqNum::new(0)
+        );
     }
 }

@@ -122,6 +122,12 @@ pub struct ProtocolConfig {
     /// delivered prefix) per instance. Deeper pipelining keeps NICs busier at
     /// large scale at the cost of more speculative state per instance.
     pub max_inflight_blocks: u64,
+    /// Execute independent instances' partial logs on the replica's shard
+    /// pool instead of the single-threaded reference path. Both paths are
+    /// bit-identical by construction (the differential tests pin this); the
+    /// serial path stays the baseline and the default so every existing
+    /// scenario keeps its exact trace unless a run opts in.
+    pub parallel_execution: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -138,6 +144,7 @@ impl Default for ProtocolConfig {
             processing_delay: Duration::from_micros(30),
             num_client_actors: 4,
             max_inflight_blocks: 4,
+            parallel_execution: false,
         }
     }
 }
@@ -289,6 +296,15 @@ mod tests {
         assert_eq!(c.max_inflight_blocks, 4);
         let mut c = ProtocolConfig::for_replicas(16);
         c.max_inflight_blocks = 16;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn parallel_execution_defaults_off_and_validates() {
+        let c = ProtocolConfig::default();
+        assert!(!c.parallel_execution);
+        let mut c = ProtocolConfig::for_replicas(8);
+        c.parallel_execution = true;
         assert!(c.validate().is_ok());
     }
 

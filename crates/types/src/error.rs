@@ -37,13 +37,14 @@ pub enum OrthrusError {
     UnknownInstance(InstanceId),
     /// An object involved in execution does not exist in the store.
     UnknownObject(ObjectKey),
-    /// An escrow attempt failed because the object's condition would be
-    /// violated (e.g. insufficient balance).
-    EscrowFailed {
-        /// The object whose condition failed.
+    /// A debit exceeded the account's spendable balance.
+    InsufficientBalance {
+        /// The account that could not cover the debit.
         object: ObjectKey,
-        /// Transaction attempting the escrow.
-        tx: TxId,
+        /// Spendable balance at the time of the debit.
+        have: crate::object::Amount,
+        /// Amount the debit required.
+        need: crate::object::Amount,
     },
     /// An operation was applied to an object of the wrong type (e.g. a
     /// contract write to an owned account).
@@ -84,8 +85,11 @@ impl fmt::Display for OrthrusError {
             OrthrusError::UnknownReplica(r) => write!(f, "unknown replica {r}"),
             OrthrusError::UnknownInstance(i) => write!(f, "unknown instance {i}"),
             OrthrusError::UnknownObject(o) => write!(f, "unknown object {o}"),
-            OrthrusError::EscrowFailed { object, tx } => {
-                write!(f, "escrow of {object} failed for {tx}")
+            OrthrusError::InsufficientBalance { object, have, need } => {
+                write!(
+                    f,
+                    "insufficient balance on {object}: have {have}, need {need}"
+                )
             }
             OrthrusError::TypeMismatch { object, reason } => {
                 write!(f, "type mismatch on {object}: {reason}")
@@ -113,13 +117,26 @@ mod tests {
 
     #[test]
     fn display_messages_mention_offenders() {
-        let err = OrthrusError::EscrowFailed {
-            object: ObjectKey::new(7),
-            tx: TxId::new(ClientId::new(1), 2),
+        let err = OrthrusError::MissingAuthorisation {
+            id: TxId::new(ClientId::new(1), 2),
+            payer: ObjectKey::new(7),
         };
         let text = err.to_string();
-        assert!(text.contains("escrow"));
+        assert!(text.contains("authorisation"));
         assert!(text.contains("tx(1:2)"));
+    }
+
+    #[test]
+    fn insufficient_balance_names_the_account_and_amounts() {
+        let err = OrthrusError::InsufficientBalance {
+            object: ObjectKey::new(7),
+            have: 3,
+            need: 10,
+        };
+        let text = err.to_string();
+        assert!(text.contains("insufficient balance"));
+        assert!(text.contains("have 3"));
+        assert!(text.contains("need 10"));
     }
 
     #[test]

@@ -161,6 +161,18 @@ impl ObjectKey {
     pub const fn account_of(client: ClientId) -> Self {
         Self(client.0)
     }
+
+    /// The shard (equivalently: SB instance / bucket, §V-A) responsible for
+    /// this key when state is split `shards` ways: a hash of the key modulo
+    /// `shards`. This is the single canonical routing function shared by the
+    /// partition module (`Partitioner::assign`), the sharded `ObjectStore`
+    /// and the sharded escrow log, so "the accounts instance `i` serialises"
+    /// and "the objects shard `i` owns" are the same set by construction.
+    #[inline]
+    pub fn shard(self, shards: u32) -> u32 {
+        let h = crate::crypto::Digest::of(&self).0;
+        (h % u64::from(shards.max(1))) as u32
+    }
 }
 
 impl fmt::Display for ObjectKey {

@@ -72,6 +72,24 @@ impl WorkloadConfig {
         }
     }
 
+    /// A hot-account workload: account popularity follows a steep Zipf law
+    /// (`zipf_exponent = 1.4 ≥ 1.2`), concentrating most debits on a handful
+    /// of accounts and therefore most execution load on the one state shard
+    /// and SB instance those accounts route to. Used by the shard-imbalance
+    /// sweeps and the executor bench's hot-account ablation.
+    pub fn hot_accounts() -> Self {
+        Self {
+            zipf_exponent: 1.4,
+            ..Self::default()
+        }
+    }
+
+    /// Override the Zipf exponent of account popularity.
+    pub fn with_zipf_exponent(mut self, exponent: f64) -> Self {
+        self.zipf_exponent = exponent;
+        self
+    }
+
     /// Override the number of transactions.
     pub fn with_transactions(mut self, n: usize) -> Self {
         self.num_transactions = n;

@@ -117,6 +117,44 @@ fn sweeps_are_deterministic_across_thread_counts() {
     }
 }
 
+/// Differential test for the sharded execution engine: enabling
+/// `parallel_execution` (shard-pool partial-log execution) must leave every
+/// protocol's trace bit-identical to the single-threaded reference path. The
+/// serial path never reads `ORTHRUS_SWEEP_THREADS`, so this equality — which
+/// CI checks under `ORTHRUS_SWEEP_THREADS ∈ {1, 4}` — also pins the parallel
+/// path across worker-pool widths.
+#[test]
+fn parallel_execution_matches_serial_for_every_protocol() {
+    for protocol in ProtocolKind::ALL {
+        let run = |parallel: bool| {
+            let mut s = scenario(17);
+            s.protocol = protocol;
+            s.config.parallel_execution = parallel;
+            run_scenario(&s)
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "{protocol} diverged across execution modes"
+        );
+        assert_eq!(
+            serial.avg_latency, parallel.avg_latency,
+            "{protocol} latency trace diverged"
+        );
+        assert_eq!(
+            serial.report, parallel.report,
+            "{protocol} simulation report diverged"
+        );
+        assert_eq!(serial.shard_ops, parallel.shard_ops);
+        assert_eq!(
+            serial.confirmed, serial.submitted,
+            "{protocol} must complete"
+        );
+    }
+}
+
 #[test]
 fn determinism_holds_for_every_protocol() {
     for protocol in ProtocolKind::ALL {
