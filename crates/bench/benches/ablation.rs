@@ -10,102 +10,45 @@
 //! * **Hot accounts** — a skewed workload (`zipf_exponent ≥ 1.2`) that
 //!   concentrates load on one bucket / state shard; the per-shard op counts
 //!   recorded in each `MeasuredPoint` quantify the imbalance.
+//!
+//! All four grids live in the spec registry (`scenarios/ablation_*.orth`);
+//! this bench lowers, runs and prints them.
 
 use orthrus_bench::harness::{self, BenchScale};
-use orthrus_types::{NetworkKind, ProtocolKind};
 
 fn main() {
     let scale = BenchScale::from_env();
-    let replicas = scale.fixed_replicas();
 
-    // Ablation A: payment fast path (Orthrus vs Ladon), with a straggler.
-    harness::print_header(
-        &format!("Ablation A — payment fast path ({replicas} replicas WAN, 1 straggler)"),
-        "payment %",
-    );
-    let mut points = Vec::new();
-    for share_pct in [20u32, 60, 100] {
-        for protocol in [ProtocolKind::Orthrus, ProtocolKind::Ladon] {
-            let scenario = harness::paper_scenario(
-                protocol,
-                NetworkKind::Wan,
-                replicas,
-                f64::from(share_pct) / 100.0,
-                true,
-                scale,
-            );
-            let point = harness::measure(protocol.label(), f64::from(share_pct), &scenario);
-            harness::print_row(&point);
-            points.push(point);
+    let grids = [
+        ("ablation_fast_path", "payment %", "payment_share_pct"),
+        ("ablation_global_ordering", "replicas", "replicas"),
+        ("ablation_multi_payer", "multi-payer %", "multi_payer_pct"),
+        ("ablation_hot_account", "zipf exponent", "zipf_exponent"),
+    ];
+
+    for (figure, x_label, x_column) in grids {
+        let jobs = harness::registry_jobs(figure, scale);
+        // Banners come from the spec titles, so editing a `.orth` grid
+        // cannot leave a stale header.
+        harness::print_header(
+            &format!(
+                "{} ({} replicas)",
+                harness::registry_title(figure),
+                jobs[0].scenario.config.num_replicas
+            ),
+            x_label,
+        );
+        let points = harness::measure_sweep(&jobs);
+        for point in &points {
+            if figure == "ablation_hot_account" {
+                let imbalance = harness::shard_imbalance(&point.shard_ops);
+                println!(
+                    "    hottest shard carries {imbalance:.2}x the mean load (ops {:?})",
+                    point.shard_ops
+                );
+            }
+            harness::print_row(point);
         }
+        harness::write_csv(figure, x_column, &points);
     }
-    harness::write_csv("ablation_fast_path", "payment_share_pct", &points);
-
-    // Ablation B: dynamic vs pre-determined global ordering under a straggler.
-    harness::print_header(
-        &format!("Ablation B — global ordering policy ({replicas} replicas WAN, 1 straggler)"),
-        "replicas",
-    );
-    let mut points = Vec::new();
-    for protocol in [ProtocolKind::Ladon, ProtocolKind::Iss, ProtocolKind::Dqbft] {
-        let scenario =
-            harness::paper_scenario(protocol, NetworkKind::Wan, replicas, 0.46, true, scale);
-        let point = harness::measure(protocol.label(), f64::from(replicas), &scenario);
-        harness::print_row(&point);
-        points.push(point);
-    }
-    harness::write_csv("ablation_global_ordering", "replicas", &points);
-
-    // Ablation C: multi-payer share (cross-instance escrow cost), no faults.
-    harness::print_header(
-        &format!("Ablation C — multi-payer share ({replicas} replicas WAN, payments only)"),
-        "multi-payer %",
-    );
-    let mut points = Vec::new();
-    for multi_pct in [0u32, 10, 30, 50] {
-        let mut scenario = harness::paper_scenario(
-            ProtocolKind::Orthrus,
-            NetworkKind::Wan,
-            replicas,
-            1.0,
-            false,
-            scale,
-        );
-        scenario.workload.multi_payer_share = f64::from(multi_pct) / 100.0;
-        let point = harness::measure("Orthrus", f64::from(multi_pct), &scenario);
-        harness::print_row(&point);
-        points.push(point);
-    }
-    harness::write_csv("ablation_multi_payer", "multi_payer_pct", &points);
-
-    // Ablation D: hot-account skew (zipf exponent sweep). With exponent
-    // ≥ 1.2 most debits hit a handful of accounts, all serialised by one SB
-    // instance and one state shard — the per-shard op counters in the JSON
-    // make the imbalance measurable across PRs.
-    harness::print_header(
-        &format!("Ablation D — hot-account skew ({replicas} replicas LAN, payments only)"),
-        "zipf exponent",
-    );
-    let mut points = Vec::new();
-    for zipf_tenths in [8u32, 12, 14] {
-        let exponent = f64::from(zipf_tenths) / 10.0;
-        let mut scenario = harness::paper_scenario(
-            ProtocolKind::Orthrus,
-            NetworkKind::Lan,
-            replicas,
-            1.0,
-            false,
-            scale,
-        );
-        scenario.workload = scenario.workload.with_zipf_exponent(exponent);
-        let point = harness::measure("Orthrus", exponent, &scenario);
-        let imbalance = harness::shard_imbalance(&point.shard_ops);
-        println!(
-            "    hottest shard carries {imbalance:.2}x the mean load (ops {:?})",
-            point.shard_ops
-        );
-        harness::print_row(&point);
-        points.push(point);
-    }
-    harness::write_csv("ablation_hot_account", "zipf_exponent", &points);
 }

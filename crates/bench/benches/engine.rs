@@ -236,11 +236,12 @@ fn sweep_bench(scale: BenchScale) -> SweepResult {
     let threads = orthrus_core::sweep_threads().max(2);
 
     let wall = Instant::now();
-    let serial = run_scenarios_with_threads(&scenarios, 1);
+    let serial = run_scenarios_with_threads(&scenarios, 1).expect("bench scenarios must validate");
     let serial_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
     let wall = Instant::now();
-    let parallel = run_scenarios_with_threads(&scenarios, threads);
+    let parallel =
+        run_scenarios_with_threads(&scenarios, threads).expect("bench scenarios must validate");
     let parallel_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
     let identical = serial.len() == parallel.len()

@@ -1,39 +1,23 @@
 //! Figure 3 (a–d): throughput and latency of Orthrus, ISS, RCC, Mir, DQBFT
 //! and Ladon in the WAN, with 0 and 1 straggler, sweeping the replica count.
 //!
-//! Reduced scale by default; `ORTHRUS_FULL_SCALE=1` runs the paper's 8–128
-//! replica sweep with the 200k-transaction workload. Scenario points are
-//! independent and deterministic, so they run on the scoped thread pool
+//! The grid definitions live in the spec registry
+//! (`scenarios/fig3ab_wan_no_straggler.orth` /
+//! `scenarios/fig3cd_wan_straggler.orth`); this bench just lowers and runs
+//! them. Reduced scale by default; `ORTHRUS_FULL_SCALE=1` applies the specs'
+//! `[full_scale]` overrides (the paper's 8–128 replica sweep with the
+//! 200k-transaction workload). Scenario points are independent and
+//! deterministic, so they run on the scoped thread pool
 //! (`ORTHRUS_SWEEP_THREADS` overrides the worker count); results are printed
 //! and written in input order regardless of thread count.
 
-use orthrus_bench::harness::{self, BenchScale, SweepJob};
-use orthrus_types::{NetworkKind, ProtocolKind};
+use orthrus_bench::harness::{self, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
-    for straggler in [false, true] {
-        let figure = if straggler {
-            "fig3cd_wan_straggler"
-        } else {
-            "fig3ab_wan_no_straggler"
-        };
-        harness::print_header(
-            &format!(
-                "Figure 3{} — WAN, {} straggler(s)",
-                if straggler { "c/d" } else { "a/b" },
-                u32::from(straggler)
-            ),
-            "replicas",
-        );
-        let mut jobs = Vec::new();
-        for &n in &scale.replica_counts() {
-            for protocol in ProtocolKind::ALL {
-                let scenario =
-                    harness::paper_scenario(protocol, NetworkKind::Wan, n, 0.46, straggler, scale);
-                jobs.push(SweepJob::new(protocol.label(), f64::from(n), scenario));
-            }
-        }
+    for figure in ["fig3ab_wan_no_straggler", "fig3cd_wan_straggler"] {
+        harness::print_header(&harness::registry_title(figure), "replicas");
+        let jobs = harness::registry_jobs(figure, scale);
         let points = harness::measure_sweep(&jobs);
         for point in &points {
             harness::print_row(point);

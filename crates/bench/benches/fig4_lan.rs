@@ -1,36 +1,17 @@
 //! Figure 4 (a–d): throughput and latency of Orthrus, ISS, RCC, Mir, DQBFT
 //! and Ladon in the LAN, with 0 and 1 straggler, sweeping the replica count.
 //!
-//! Scenario points run on the scoped thread pool (`ORTHRUS_SWEEP_THREADS`
-//! overrides the worker count); series order is stable regardless.
+//! The grids come from the spec registry (`scenarios/fig4*.orth`); scenario
+//! points run on the scoped thread pool (`ORTHRUS_SWEEP_THREADS` overrides
+//! the worker count) and the series order is stable regardless.
 
-use orthrus_bench::harness::{self, BenchScale, SweepJob};
-use orthrus_types::{NetworkKind, ProtocolKind};
+use orthrus_bench::harness::{self, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
-    for straggler in [false, true] {
-        let figure = if straggler {
-            "fig4cd_lan_straggler"
-        } else {
-            "fig4ab_lan_no_straggler"
-        };
-        harness::print_header(
-            &format!(
-                "Figure 4{} — LAN, {} straggler(s)",
-                if straggler { "c/d" } else { "a/b" },
-                u32::from(straggler)
-            ),
-            "replicas",
-        );
-        let mut jobs = Vec::new();
-        for &n in &scale.replica_counts() {
-            for protocol in ProtocolKind::ALL {
-                let scenario =
-                    harness::paper_scenario(protocol, NetworkKind::Lan, n, 0.46, straggler, scale);
-                jobs.push(SweepJob::new(protocol.label(), f64::from(n), scenario));
-            }
-        }
+    for figure in ["fig4ab_lan_no_straggler", "fig4cd_lan_straggler"] {
+        harness::print_header(&harness::registry_title(figure), "replicas");
+        let jobs = harness::registry_jobs(figure, scale);
         let points = harness::measure_sweep(&jobs);
         for point in &points {
             harness::print_row(point);

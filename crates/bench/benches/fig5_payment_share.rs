@@ -1,40 +1,29 @@
 //! Figure 5 (a/b): Orthrus throughput and latency as the proportion of
-//! payment transactions varies from 0% to 100%, on 16 WAN replicas, with and
-//! without a straggler.
+//! payment transactions varies from 0% to 100%, on a fixed-size WAN
+//! deployment, with and without a straggler.
+//!
+//! The sweep grids come from the spec registry (`scenarios/fig5_*.orth`).
 
 use orthrus_bench::harness::{self, BenchScale};
-use orthrus_types::{NetworkKind, ProtocolKind};
 
 fn main() {
     let scale = BenchScale::from_env();
-    let replicas = scale.fixed_replicas();
-    for straggler in [false, true] {
-        let figure = if straggler {
-            "fig5_payment_share_straggler"
-        } else {
-            "fig5_payment_share_no_straggler"
-        };
+    for figure in [
+        "fig5_payment_share_no_straggler",
+        "fig5_payment_share_straggler",
+    ] {
+        let jobs = harness::registry_jobs(figure, scale);
         harness::print_header(
             &format!(
-                "Figure 5 — payment share sweep, {} replicas WAN, {} straggler(s)",
-                replicas,
-                u32::from(straggler)
+                "{} ({} replicas)",
+                harness::registry_title(figure),
+                jobs[0].scenario.config.num_replicas
             ),
             "payment %",
         );
-        let mut points = Vec::new();
-        for share_pct in [0u32, 20, 40, 60, 80, 100] {
-            let scenario = harness::paper_scenario(
-                ProtocolKind::Orthrus,
-                NetworkKind::Wan,
-                replicas,
-                f64::from(share_pct) / 100.0,
-                straggler,
-                scale,
-            );
-            let point = harness::measure("Orthrus", f64::from(share_pct), &scenario);
-            harness::print_row(&point);
-            points.push(point);
+        let points = harness::measure_sweep(&jobs);
+        for point in &points {
+            harness::print_row(point);
         }
         harness::write_csv(figure, "payment_share_pct", &points);
     }

@@ -1,18 +1,21 @@
-//! Figure 6 (and Figure 1b): latency breakdown of ISS versus Orthrus on 16
-//! WAN replicas with one 10× straggler, split into the five pipeline stages
-//! (send, preprocessing, partial ordering, global ordering, reply).
+//! Figure 6 (and Figure 1b): latency breakdown of ISS versus Orthrus on a
+//! fixed-size WAN deployment with one 10× straggler, split into the five
+//! pipeline stages (send, preprocessing, partial ordering, global ordering,
+//! reply).
+//!
+//! The two-run grid comes from the spec registry
+//! (`scenarios/fig6_latency_breakdown.orth`).
 
 use orthrus_bench::harness::{self, BenchScale};
 use orthrus_core::run_scenarios;
-use orthrus_types::{NetworkKind, ProtocolKind};
 use std::fs;
 
 fn main() {
     let scale = BenchScale::from_env();
-    let replicas = scale.fixed_replicas();
     println!();
     println!(
-        "=== Figure 6 / Figure 1b — latency breakdown, {replicas} replicas WAN, 1 straggler ==="
+        "=== {} ===",
+        harness::registry_title("fig6_latency_breakdown")
     );
     println!(
         "{:<10} {:>10} {:>14} {:>18} {:>17} {:>10} {:>10}",
@@ -29,19 +32,14 @@ fn main() {
     );
     // The two protocol runs are independent; sweep them in parallel and keep
     // the original print order.
-    let protocols = [ProtocolKind::Orthrus, ProtocolKind::Iss];
-    let scenarios: Vec<_> = protocols
-        .iter()
-        .map(|&protocol| {
-            harness::paper_scenario(protocol, NetworkKind::Wan, replicas, 0.46, true, scale)
-        })
-        .collect();
-    let outcomes = run_scenarios(&scenarios);
-    for (protocol, outcome) in protocols.iter().zip(&outcomes) {
+    let jobs = harness::registry_jobs("fig6_latency_breakdown", scale);
+    let scenarios: Vec<_> = jobs.iter().map(|job| job.scenario.clone()).collect();
+    let outcomes = run_scenarios(&scenarios).expect("registry scenarios must validate");
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
         let b = outcome.breakdown;
         println!(
             "{:<10} {:>10.3} {:>14.3} {:>18.3} {:>17.3} {:>10.3} {:>9.1}%",
-            protocol.label(),
+            job.label,
             b.send.as_secs_f64(),
             b.preprocess.as_secs_f64(),
             b.partial_ordering.as_secs_f64(),
@@ -51,7 +49,7 @@ fn main() {
         );
         csv.push_str(&format!(
             "{},{},{},{},{},{},{}\n",
-            protocol.label(),
+            job.label,
             b.send.as_secs_f64(),
             b.preprocess.as_secs_f64(),
             b.partial_ordering.as_secs_f64(),

@@ -1,52 +1,29 @@
-//! Figure 7 (a/b): Orthrus throughput and latency over time with 0, 1 and 5
-//! detectable (crash) faults occurring 9 seconds into the run, averaged over
-//! 0.5 s intervals. The PBFT view-change timeout is 10 s as in the paper.
+//! Figure 7 (a/b): Orthrus throughput and latency over time with 0, 1 and
+//! more detectable (crash) faults occurring 9 seconds into the run, averaged
+//! over 0.5 s intervals. The PBFT view-change timeout is 10 s as in the
+//! paper.
+//!
+//! The fault timelines come from the spec registry
+//! (`scenarios/fig7_fault_timeline.orth`): the `crash_count` axis crashes
+//! replicas 1..=count so instance 0 keeps its leader and the crashes spread
+//! over distinct instances.
 
 use orthrus_bench::harness::{self, BenchScale};
 use orthrus_core::run_scenarios;
-use orthrus_sim::FaultPlan;
-use orthrus_types::{Duration, NetworkKind, ProtocolKind, ReplicaId, SimTime};
 use std::fs;
 
 fn main() {
     let scale = BenchScale::from_env();
-    let replicas = scale.fixed_replicas();
-    let fault_counts = [0u32, 1, 5.min(replicas / 3)];
     println!();
-    println!("=== Figure 7 — throughput/latency over time under crash faults ({replicas} replicas WAN) ===");
+    println!("=== {} ===", harness::registry_title("fig7_fault_timeline"));
     let mut csv = String::from("faults,time_s,throughput_ktps,latency_s\n");
-    // Build the three fault timelines up front and sweep them on the thread
-    // pool; printing below keeps the input order.
-    let scenarios: Vec<_> = fault_counts
-        .iter()
-        .map(|&faults| {
-            let mut scenario = harness::paper_scenario(
-                ProtocolKind::Orthrus,
-                NetworkKind::Wan,
-                replicas,
-                0.46,
-                false,
-                scale,
-            );
-            // Spread submissions over a longer window so the run is still
-            // under load when the faults hit at t = 9 s, and keep the paper's
-            // 10 s view-change timeout.
-            scenario.submission_window = Duration::from_secs(25);
-            scenario.max_sim_time = Duration::from_secs(120);
-            scenario.config.view_change_timeout = Duration::from_secs(10);
-            let mut plan = FaultPlan::none();
-            for f in 0..faults {
-                // Crash replicas other than replica 0 so instance 0 keeps
-                // its leader and the crashes are spread over distinct
-                // instances.
-                plan = plan.with_crash(ReplicaId::new(1 + f), SimTime::from_secs(9));
-            }
-            scenario.faults = plan;
-            scenario
-        })
-        .collect();
-    let outcomes = run_scenarios(&scenarios);
-    for (&faults, outcome) in fault_counts.iter().zip(&outcomes) {
+    // Lower the fault timelines up front and sweep them on the thread pool;
+    // printing below keeps the input order.
+    let jobs = harness::registry_jobs("fig7_fault_timeline", scale);
+    let scenarios: Vec<_> = jobs.iter().map(|job| job.scenario.clone()).collect();
+    let outcomes = run_scenarios(&scenarios).expect("registry scenarios must validate");
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        let faults = job.x as u32;
         println!(
             "\n-- f = {faults}: {} / {} confirmed, {} view changes --",
             outcome.confirmed, outcome.submitted, outcome.view_changes

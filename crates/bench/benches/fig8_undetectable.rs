@@ -2,39 +2,28 @@
 //! "selfish" replicas that keep leading their own instance (so no view-change
 //! timeout fires) but refuse to participate in every other instance — sweeping
 //! the number of faulty replicas from 0 to f.
+//!
+//! The grid comes from the spec registry
+//! (`scenarios/fig8_undetectable_faults.orth`): the `selfish_count` axis
+//! flags replicas from the tail of the replica set so they lead instances
+//! other than instance 0.
 
 use orthrus_bench::harness::{self, BenchScale};
-use orthrus_sim::FaultPlan;
-use orthrus_types::{NetworkKind, ProtocolKind, ReplicaId};
 
 fn main() {
     let scale = BenchScale::from_env();
-    let replicas = scale.fixed_replicas();
-    let max_faulty = (replicas - 1) / 3;
+    let jobs = harness::registry_jobs("fig8_undetectable_faults", scale);
     harness::print_header(
-        &format!("Figure 8 — undetectable (selfish) faults, {replicas} replicas WAN"),
+        &format!(
+            "{} ({} replicas)",
+            harness::registry_title("fig8_undetectable_faults"),
+            jobs[0].scenario.config.num_replicas
+        ),
         "faulty",
     );
-    let mut points = Vec::new();
-    for faulty in 0..=max_faulty {
-        let mut scenario = harness::paper_scenario(
-            ProtocolKind::Orthrus,
-            NetworkKind::Wan,
-            replicas,
-            0.46,
-            false,
-            scale,
-        );
-        let mut plan = FaultPlan::none();
-        for f in 0..faulty {
-            // Selfish replicas are chosen from the tail of the replica set so
-            // they lead instances other than instance 0.
-            plan = plan.with_selfish(ReplicaId::new(replicas - 1 - f));
-        }
-        scenario.faults = plan;
-        let point = harness::measure("Orthrus", f64::from(faulty), &scenario);
-        harness::print_row(&point);
-        points.push(point);
+    let points = harness::measure_sweep(&jobs);
+    for point in &points {
+        harness::print_row(point);
     }
     harness::write_csv("fig8_undetectable_faults", "faulty_replicas", &points);
 }

@@ -89,9 +89,9 @@ fn main() {
         BenchScale::Reduced,
     );
     let wall = std::time::Instant::now();
-    let outcome = orthrus_core::run_scenario(&scenario);
+    let outcome = orthrus_core::run_scenario(&scenario).expect("bench scenario must validate");
     let wall_s = wall.elapsed().as_secs_f64();
-    let point = MeasuredPoint::from_outcome("Orthrus", 4.0, &outcome);
+    let point = MeasuredPoint::from_outcome("Orthrus", 4.0, &outcome, wall_s * 1e3);
     harness::print_header("fig4_lan snapshot", "replicas");
     harness::print_row(&point);
 

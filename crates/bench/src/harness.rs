@@ -1,6 +1,7 @@
 //! Shared machinery for the figure-reproduction benches.
 
 use orthrus_core::{parallel_map, run_scenario, sweep_threads, Scenario, ScenarioOutcome};
+use orthrus_lab::{registry, SpecScale};
 use orthrus_sim::FaultPlan;
 use orthrus_types::{Duration, NetworkKind, ProtocolKind, ReplicaId};
 use orthrus_workload::WorkloadConfig;
@@ -21,11 +22,13 @@ pub enum BenchScale {
 }
 
 impl BenchScale {
-    /// Pick the scale from the `ORTHRUS_FULL_SCALE` environment variable.
+    /// Pick the scale from the `ORTHRUS_FULL_SCALE` environment variable
+    /// (delegates to [`SpecScale::from_env`] so the CLI and the benches can
+    /// never disagree on the convention).
     pub fn from_env() -> Self {
-        match std::env::var("ORTHRUS_FULL_SCALE") {
-            Ok(value) if value == "1" || value.eq_ignore_ascii_case("true") => BenchScale::Full,
-            _ => BenchScale::Reduced,
+        match SpecScale::from_env() {
+            SpecScale::Reduced => BenchScale::Reduced,
+            SpecScale::Full => BenchScale::Full,
         }
     }
 
@@ -68,6 +71,15 @@ impl BenchScale {
         match self {
             BenchScale::Reduced => 8,
             BenchScale::Full => 16,
+        }
+    }
+
+    /// The matching spec-lowering scale (registry sweeps apply their
+    /// `[full_scale]` overrides at [`BenchScale::Full`]).
+    pub fn spec_scale(self) -> SpecScale {
+        match self {
+            BenchScale::Reduced => SpecScale::Reduced,
+            BenchScale::Full => SpecScale::Full,
         }
     }
 }
@@ -138,6 +150,24 @@ pub fn shard_imbalance(shard_ops: &[u64]) -> f64 {
         / total as f64
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+/// Labels normally come from `ProtocolKind::label`, but the `orthrus` CLI
+/// feeds user-authored spec labels through here too.
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render a `u64` slice as a JSON array.
 fn json_u64_array(values: &[u64]) -> String {
     let mut out = String::from("[");
@@ -152,8 +182,15 @@ fn json_u64_array(values: &[u64]) -> String {
 }
 
 impl MeasuredPoint {
-    /// Build a point from a finished scenario outcome.
-    pub fn from_outcome(label: &str, x: f64, outcome: &ScenarioOutcome) -> Self {
+    /// Build a point from a finished scenario outcome. The single place a
+    /// point is assembled — every bench and the `orthrus` CLI go through it.
+    /// Pass `0.0` for `wall_clock_ms` when the run was not timed.
+    pub fn from_outcome(
+        label: &str,
+        x: f64,
+        outcome: &ScenarioOutcome,
+        wall_clock_ms: f64,
+    ) -> Self {
         Self {
             protocol: label.to_string(),
             x,
@@ -165,16 +202,10 @@ impl MeasuredPoint {
             bytes_sent: outcome.report.bytes_sent,
             events_processed: outcome.report.events_processed,
             peak_queue_len: outcome.report.peak_queue_len,
-            wall_clock_ms: 0.0,
+            wall_clock_ms,
             shard_objects: outcome.shard_objects.clone(),
             shard_ops: outcome.shard_ops.clone(),
         }
-    }
-
-    /// Attach the wall-clock time the scenario took to simulate.
-    pub fn with_wall_clock(mut self, ms: f64) -> Self {
-        self.wall_clock_ms = ms;
-        self
     }
 
     /// Serialize the point as one JSON object (hand-rolled; the workspace
@@ -189,7 +220,7 @@ impl MeasuredPoint {
                 "\"peak_queue_len\":{},\"wall_clock_ms\":{:.3},",
                 "\"shard_objects\":{},\"shard_ops\":{}}}"
             ),
-            self.protocol,
+            escape_json(&self.protocol),
             self.x,
             self.throughput_ktps,
             self.latency_s,
@@ -238,11 +269,13 @@ pub fn paper_scenario(
 }
 
 /// Run one scenario and convert the outcome into a measured point.
+///
+/// Panics on an invalid scenario: bench grids are checked-in data validated
+/// by the spec lint, so an invalid point is a bug in the harness, not input.
 pub fn measure(label: &str, x: f64, scenario: &Scenario) -> MeasuredPoint {
     let wall = Instant::now();
-    let outcome = run_scenario(scenario);
-    MeasuredPoint::from_outcome(label, x, &outcome)
-        .with_wall_clock(wall.elapsed().as_secs_f64() * 1e3)
+    let outcome = run_scenario(scenario).expect("bench scenario must validate");
+    MeasuredPoint::from_outcome(label, x, &outcome, wall.elapsed().as_secs_f64() * 1e3)
 }
 
 /// One labelled point of a sweep: a scenario plus its series label and
@@ -266,6 +299,42 @@ impl SweepJob {
             scenario,
         }
     }
+}
+
+impl From<orthrus_lab::LoweredPoint> for SweepJob {
+    fn from(point: orthrus_lab::LoweredPoint) -> Self {
+        Self {
+            label: point.label,
+            x: point.x,
+            scenario: point.scenario,
+        }
+    }
+}
+
+/// Lower a named registry spec into sweep jobs at the given scale. The
+/// figure benches pull their grids from here, so the grid definitions live
+/// in `scenarios/*.orth` instead of per-bench Rust.
+///
+/// Panics when the entry is missing or does not lower: registry sources are
+/// embedded and pinned by golden tests, so that is a build defect.
+pub fn registry_jobs(name: &str, scale: BenchScale) -> Vec<SweepJob> {
+    let spec = registry::spec(name)
+        .unwrap_or_else(|err| panic!("registry spec {name:?} failed to parse: {err}"));
+    spec.lower(scale.spec_scale())
+        .unwrap_or_else(|err| panic!("registry spec {name:?} failed to lower: {err}"))
+        .into_iter()
+        .map(SweepJob::from)
+        .collect()
+}
+
+/// The human-readable title of a registry spec (falls back to the name).
+/// Bench banners print this instead of hard-coding grid facts that now live
+/// in the spec files — editing a `.orth` file cannot leave a stale banner.
+pub fn registry_title(name: &str) -> String {
+    registry::spec(name)
+        .ok()
+        .and_then(|spec| spec.title().map(str::to_string))
+        .unwrap_or_else(|| name.to_string())
 }
 
 /// Run a sweep of independent scenario points on the scoped thread pool
@@ -344,7 +413,9 @@ pub fn series_json(figure: &str, x_label: &str, points: &[MeasuredPoint]) -> Str
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\n  \"figure\": \"{figure}\",\n  \"x_label\": \"{x_label}\",\n  \"points\": ["
+        "{{\n  \"figure\": \"{}\",\n  \"x_label\": \"{}\",\n  \"points\": [",
+        escape_json(figure),
+        escape_json(x_label)
     );
     for (i, p) in points.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };
@@ -400,10 +471,35 @@ mod tests {
     }
 
     #[test]
+    fn registry_jobs_cover_the_fig3_grid() {
+        let jobs = registry_jobs("fig3ab_wan_no_straggler", BenchScale::Reduced);
+        // 3 replica counts × 6 protocols, replica axis outermost.
+        assert_eq!(jobs.len(), 18);
+        assert_eq!(jobs[0].x, 4.0);
+        assert_eq!(jobs[0].label, "Orthrus");
+        assert_eq!(jobs[17].x, 16.0);
+        assert_eq!(jobs[17].label, "Ladon");
+        let full = registry_jobs("fig3ab_wan_no_straggler", BenchScale::Full);
+        assert_eq!(full.len(), 30);
+        assert_eq!(full[29].x, 128.0);
+        assert_eq!(
+            full[0].scenario.workload.num_transactions,
+            BenchScale::Full.transactions()
+        );
+    }
+
+    #[test]
     fn csv_path_is_under_target() {
         let path = figure_csv_path("fig_test");
         assert!(path.to_string_lossy().contains("figures"));
         assert_eq!(figure_json_path("fig_test").extension().unwrap(), "json");
+    }
+
+    #[test]
+    fn json_labels_are_escaped() {
+        assert_eq!(escape_json("Orthrus"), "Orthrus");
+        assert_eq!(escape_json("say \"hi\"\\"), "say \\\"hi\\\"\\\\");
+        assert_eq!(escape_json("a\nb"), "a\\u000ab");
     }
 
     #[test]

@@ -2,9 +2,23 @@
 //! discrete-event simulation, drives it with a workload and extracts the
 //! metrics the paper reports.
 //!
-//! Every benchmark harness and most integration tests go through
-//! [`run_scenario`]: it is the single entry point that assembles replicas,
-//! clients, network model and fault plan from a declarative [`Scenario`].
+//! Every benchmark harness, the `orthrus` CLI and most integration tests go
+//! through [`run_scenario`]: it is the single entry point that assembles
+//! replicas, clients, network model and fault plan from a declarative
+//! [`Scenario`].
+//!
+//! The experiment API is deliberately *data first*:
+//!
+//! * a [`Scenario`] is built through `with_*` builders whose cross-field
+//!   invariants are enforced in exactly one place, [`Scenario::validate`];
+//! * when the run should stop is data too — a set of [`StopCondition`]s —
+//!   instead of hard-coded drain loops;
+//! * [`run_scenario`] is fallible: invalid configurations come back as a
+//!   descriptive [`OrthrusError::Config`] *before* any event is simulated.
+//!
+//! The `orthrus-lab` crate layers a textual spec format and a named registry
+//! of the paper's figure grids on top of this module; both lower to plain
+//! [`Scenario`] values and run on the same pool.
 
 use crate::client::ClientNode;
 use crate::messages::NetMessage;
@@ -15,13 +29,90 @@ use orthrus_sim::{
     FaultPlan, NetworkConfig, NodeId, QueueKind, Simulation, SimulationReport, ThroughputPoint,
 };
 use orthrus_types::{
-    Digest, Duration, NetworkKind, ProtocolConfig, ProtocolKind, ReplicaId, SharedTx, SimTime,
+    Digest, Duration, NetworkKind, OrthrusError, ProtocolConfig, ProtocolKind, ReplicaId, Result,
+    SharedTx, SimTime,
 };
 use orthrus_workload::{Workload, WorkloadConfig};
 use std::sync::Arc;
 
+/// When a scenario run is allowed to stop.
+///
+/// Conditions compose as a set on [`Scenario::stop`]; the driver applies the
+/// present conditions in a fixed order:
+///
+/// 1. [`StopCondition::AllConfirmed`] — run in one-second slices until every
+///    submitted transaction is confirmed at a client (instead of simulating
+///    idle batch timers forever).
+/// 2. [`StopCondition::DigestsQuiesce`] — then drain in 250 ms slices until
+///    every cooperative (non-crashed, non-selfish) replica reports the same
+///    execution-state digest, so the digest snapshot reflects the safety
+///    invariant rather than a mid-flight race.
+/// 3. [`StopCondition::SimTimeLimit`] — the simulated-time budget
+///    [`Scenario::max_sim_time`]. This cap is always enforced, with or
+///    without the other conditions; listing it alone runs the scenario to
+///    its full time budget in one-second slices.
+///
+/// `DigestsQuiesce` requires `AllConfirmed` in the same set (validation
+/// rejects the combination otherwise): replica digests trivially agree at
+/// genesis, so a quiesce-only run would stop at t = 0 without processing a
+/// single event.
+///
+/// The default set is all three, which reproduces the behaviour of the
+/// original infallible driver bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopCondition {
+    /// Stop once every submitted transaction is confirmed at a client.
+    AllConfirmed,
+    /// Keep draining until all cooperative replicas agree on a state digest.
+    DigestsQuiesce,
+    /// Stop when `max_sim_time` is reached (always enforced as a cap).
+    SimTimeLimit,
+}
+
+impl StopCondition {
+    /// The default stop set: confirm everything, then drain until the
+    /// cooperative replicas' state digests agree, all within the simulated
+    /// time budget.
+    pub const DEFAULT: [StopCondition; 3] = [
+        StopCondition::AllConfirmed,
+        StopCondition::DigestsQuiesce,
+        StopCondition::SimTimeLimit,
+    ];
+
+    /// Stable lower-snake name (used by the `orthrus-lab` spec format).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopCondition::AllConfirmed => "all_confirmed",
+            StopCondition::DigestsQuiesce => "digests_quiesce",
+            StopCondition::SimTimeLimit => "sim_time_limit",
+        }
+    }
+
+    /// Parse a stable name back into a condition.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "all_confirmed" => Some(StopCondition::AllConfirmed),
+            "digests_quiesce" => Some(StopCondition::DigestsQuiesce),
+            "sim_time_limit" => Some(StopCondition::SimTimeLimit),
+            _ => None,
+        }
+    }
+}
+
 /// A declarative description of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Construct with [`Scenario::new`] and refine with the `with_*` builders;
+/// [`run_scenario`] validates the result as a whole (protocol configuration,
+/// workload, fault plan and their cross-field consistency) before anything is
+/// simulated. The fields stay public so specs and tests can inspect them, but
+/// hand-rolled literals get no validity guarantees until they pass through
+/// [`Scenario::validate`] on the run path.
+///
+/// The workload's RNG seed is **derived from [`Scenario::seed`]** when the
+/// simulation is built (see [`Scenario::effective_workload`]): a scenario has
+/// exactly one seed, and `workload.seed` is ignored. This closes the footgun
+/// where struct-literal construction could silently desynchronise the two.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Which protocol every replica runs.
     pub protocol: ProtocolKind,
@@ -30,6 +121,8 @@ pub struct Scenario {
     /// Protocol configuration (replica count, batch size, timeouts).
     pub config: ProtocolConfig,
     /// Workload configuration (accounts, transaction count, payment share).
+    /// Its `seed` field is ignored: the effective workload seed is
+    /// [`Scenario::seed`].
     pub workload: WorkloadConfig,
     /// Fault plan (crashes, stragglers, selfish replicas).
     pub faults: FaultPlan,
@@ -44,6 +137,8 @@ pub struct Scenario {
     /// Event-queue implementation the simulation runs on. Both kinds produce
     /// bit-identical traces; differential tests drive both.
     pub queue: QueueKind,
+    /// When the run may stop (see [`StopCondition`]).
+    pub stop: Vec<StopCondition>,
 }
 
 impl Scenario {
@@ -61,10 +156,30 @@ impl Scenario {
             max_sim_time: Duration::from_secs(120),
             seed: 42,
             queue: QueueKind::default(),
+            stop: StopCondition::DEFAULT.to_vec(),
         }
     }
 
-    /// Use the given workload configuration.
+    /// Switch the protocol under test.
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Switch the network model.
+    pub fn with_network(mut self, network: NetworkKind) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Replace the whole protocol configuration.
+    pub fn with_config(mut self, config: ProtocolConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Use the given workload configuration (its `seed` field is ignored;
+    /// the scenario seed is the single source of truth).
     pub fn with_workload(mut self, workload: WorkloadConfig) -> Self {
         self.workload = workload;
         self
@@ -83,16 +198,47 @@ impl Scenario {
         self
     }
 
-    /// Override the seed.
+    /// Override the seed (drives both workload generation and network
+    /// jitter).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
-        self.workload.seed = seed;
+        self
+    }
+
+    /// Override the number of client / load-generator actors.
+    pub fn with_num_clients(mut self, num_clients: u64) -> Self {
+        self.num_clients = num_clients;
+        self
+    }
+
+    /// Override the open-loop submission window.
+    pub fn with_submission_window(mut self, window: Duration) -> Self {
+        self.submission_window = window;
         self
     }
 
     /// Override the simulated-time limit.
     pub fn with_max_sim_time(mut self, limit: Duration) -> Self {
         self.max_sim_time = limit;
+        self
+    }
+
+    /// Override the leader batch size (`ProtocolConfig::batch_size`).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Override the leader batch timeout (`ProtocolConfig::batch_timeout`).
+    pub fn with_batch_timeout(mut self, timeout: Duration) -> Self {
+        self.config.batch_timeout = timeout;
+        self
+    }
+
+    /// Override the PBFT view-change timeout
+    /// (`ProtocolConfig::view_change_timeout`).
+    pub fn with_view_change_timeout(mut self, timeout: Duration) -> Self {
+        self.config.view_change_timeout = timeout;
         self
     }
 
@@ -115,6 +261,64 @@ impl Scenario {
     pub fn with_parallel_execution(mut self, enabled: bool) -> Self {
         self.config.parallel_execution = enabled;
         self
+    }
+
+    /// Override the stop conditions (see [`StopCondition`]).
+    pub fn with_stop(mut self, stop: Vec<StopCondition>) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// The workload configuration the simulation actually generates from:
+    /// [`Scenario::workload`] with its seed replaced by [`Scenario::seed`].
+    /// This is the single source of truth for workload seeding — tools that
+    /// regenerate the trace outside of [`build_simulation`] must use it.
+    pub fn effective_workload(&self) -> WorkloadConfig {
+        let mut workload = self.workload.clone();
+        workload.seed = self.seed;
+        workload
+    }
+
+    /// Validate the scenario as a whole. This is the one place cross-field
+    /// invariants live: the protocol configuration, the (effective) workload,
+    /// the fault plan against the replica count, and the runner's own knobs.
+    /// [`run_scenario`] calls this before building the simulation.
+    pub fn validate(&self) -> Result<()> {
+        self.config.validate()?;
+        self.effective_workload().validate()?;
+        self.faults.validate(self.config.num_replicas)?;
+        if self.num_clients == 0 {
+            return Err(OrthrusError::Config(
+                "num_clients must be at least 1 (someone has to submit the workload)".into(),
+            ));
+        }
+        if self.submission_window <= Duration::ZERO {
+            return Err(OrthrusError::Config(
+                "submission_window must be positive".into(),
+            ));
+        }
+        if self.max_sim_time <= Duration::ZERO {
+            return Err(OrthrusError::Config("max_sim_time must be positive".into()));
+        }
+        if self.stop.is_empty() {
+            return Err(OrthrusError::Config(
+                "at least one stop condition is required (the default is \
+                 [all_confirmed, digests_quiesce, sim_time_limit])"
+                    .into(),
+            ));
+        }
+        if self.stop.contains(&StopCondition::DigestsQuiesce)
+            && !self.stop.contains(&StopCondition::AllConfirmed)
+        {
+            // At t = 0 every replica trivially agrees on the genesis digest,
+            // so a quiesce-only run would stop before processing one event.
+            return Err(OrthrusError::Config(
+                "stop condition digests_quiesce requires all_confirmed (replica digests \
+                 trivially agree at genesis, so a quiesce-only run would stop at t = 0)"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -170,9 +374,13 @@ impl ScenarioOutcome {
 }
 
 /// Build the simulation for a scenario without running it (used by tests that
-/// want to poke at intermediate states).
-pub fn build_simulation(scenario: &Scenario) -> (Simulation<NetMessage>, usize) {
-    let workload = Workload::generate(scenario.workload.clone());
+/// want to poke at intermediate states). Validates the scenario first.
+pub fn build_simulation(scenario: &Scenario) -> Result<(Simulation<NetMessage>, usize)> {
+    scenario.validate()?;
+    // The workload seed derives from the scenario seed here — the single
+    // source of truth — so struct-literal construction cannot desynchronise
+    // the two (satisfying `Scenario::effective_workload`).
+    let workload = Workload::generate(scenario.effective_workload());
     let mut genesis = ObjectStore::new();
     workload.install_genesis(&mut genesis);
 
@@ -186,7 +394,7 @@ pub fn build_simulation(scenario: &Scenario) -> (Simulation<NetMessage>, usize) 
 
     // Replicas must agree with the runner on the logical-client → client-actor
     // mapping so they can route replies.
-    let num_clients = scenario.num_clients.max(1);
+    let num_clients = scenario.num_clients;
     let mut config = scenario.config.clone();
     config.num_client_actors = num_clients;
 
@@ -216,17 +424,21 @@ pub fn build_simulation(scenario: &Scenario) -> (Simulation<NetMessage>, usize) 
         sim.add_actor(NodeId::client(c as u64), Box::new(client));
     }
 
-    (sim, workload.transactions.len())
+    Ok((sim, workload.transactions.len()))
 }
 
-/// Run a scenario to completion (all transactions confirmed) or until its
+/// Run a scenario until its [`StopCondition`]s are met (by default: all
+/// transactions confirmed, then state digests quiesced) or until its
 /// simulated-time budget is exhausted, and collect the measurements.
-pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
-    let (mut sim, submitted) = build_simulation(scenario);
+///
+/// Fails fast with [`OrthrusError::Config`] when the scenario is invalid —
+/// the protocol configuration, workload, fault plan and runner knobs are all
+/// checked before any event is simulated.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
+    let (mut sim, submitted) = build_simulation(scenario)?;
     let deadline = SimTime::ZERO + scenario.max_sim_time;
+    let wants = |condition: StopCondition| scenario.stop.contains(&condition);
 
-    // Run in one-second slices so we can stop as soon as every transaction is
-    // confirmed rather than simulating idle batch timers forever.
     let mut last_report = orthrus_sim::SimulationReport {
         end_time: SimTime::ZERO,
         events_processed: 0,
@@ -234,47 +446,66 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         bytes_sent: 0,
         peak_queue_len: 0,
     };
-    loop {
-        let now = sim.now();
-        if now >= deadline {
-            break;
-        }
-        let slice_end = (now + Duration::from_secs(1)).min(deadline);
-        last_report = sim.run_until(slice_end);
-        if sim.stats().confirmed_count() >= submitted && submitted > 0 {
-            break;
+
+    if wants(StopCondition::AllConfirmed) {
+        // Run in one-second slices so we can stop as soon as every
+        // transaction is confirmed rather than simulating idle batch timers
+        // forever.
+        loop {
+            let now = sim.now();
+            if now >= deadline {
+                break;
+            }
+            let slice_end = (now + Duration::from_secs(1)).min(deadline);
+            last_report = sim.run_until(slice_end);
+            if sim.stats().confirmed_count() >= submitted && submitted > 0 {
+                break;
+            }
         }
     }
 
-    // Clients confirm on `f + 1` replies, so the loop above can stop while
-    // slow-but-honest replicas (e.g. a 10x straggler) still hold in-flight
-    // blocks. Drain in short slices until every cooperative replica has
-    // executed the same prefix, so the state-digest snapshot below reflects
-    // the safety invariant (Theorem 1) rather than a mid-flight race.
-    // Crashed and selfish replicas are excluded: they stop processing by
-    // design and would never catch up.
-    let cooperative: Vec<ReplicaId> = (0..scenario.config.num_replicas)
-        .map(ReplicaId::new)
-        .filter(|r| {
-            !scenario.faults.is_selfish(*r)
-                && !scenario
-                    .faults
-                    .is_crashed(*r, SimTime::ZERO + scenario.max_sim_time)
-        })
-        .collect();
-    let digests_agree = |sim: &Simulation<NetMessage>| {
-        let mut digests = cooperative.iter().filter_map(|r| {
-            sim.actor_as::<ReplicaNode>(NodeId::Replica(*r))
-                .map(|node| node.executor().state_digest())
-        });
-        match digests.next() {
-            Some(first) => digests.all(|d| d == first),
-            None => true,
+    if wants(StopCondition::DigestsQuiesce) {
+        // Clients confirm on `f + 1` replies, so the confirmation phase can
+        // stop while slow-but-honest replicas (e.g. a 10x straggler) still
+        // hold in-flight blocks. Drain in short slices until every
+        // cooperative replica has executed the same prefix, so the
+        // state-digest snapshot below reflects the safety invariant
+        // (Theorem 1) rather than a mid-flight race. Crashed and selfish
+        // replicas are excluded: they stop processing by design and would
+        // never catch up.
+        let cooperative: Vec<ReplicaId> = (0..scenario.config.num_replicas)
+            .map(ReplicaId::new)
+            .filter(|r| {
+                !scenario.faults.is_selfish(*r)
+                    && !scenario
+                        .faults
+                        .is_crashed(*r, SimTime::ZERO + scenario.max_sim_time)
+            })
+            .collect();
+        let digests_agree = |sim: &Simulation<NetMessage>| {
+            let mut digests = cooperative.iter().filter_map(|r| {
+                sim.actor_as::<ReplicaNode>(NodeId::Replica(*r))
+                    .map(|node| node.executor().state_digest())
+            });
+            match digests.next() {
+                Some(first) => digests.all(|d| d == first),
+                None => true,
+            }
+        };
+        while sim.now() < deadline && !digests_agree(&sim) {
+            let slice_end = (sim.now() + Duration::from_millis(250)).min(deadline);
+            last_report = sim.run_until(slice_end);
         }
-    };
-    while sim.now() < deadline && !digests_agree(&sim) {
-        let slice_end = (sim.now() + Duration::from_millis(250)).min(deadline);
-        last_report = sim.run_until(slice_end);
+    }
+
+    if !wants(StopCondition::AllConfirmed) {
+        // SimTimeLimit alone (validation guarantees DigestsQuiesce cannot
+        // appear without AllConfirmed): run the full time budget, still
+        // sliced so the cadence matches the other phases.
+        while sim.now() < deadline {
+            let slice_end = (sim.now() + Duration::from_secs(1)).min(deadline);
+            last_report = sim.run_until(slice_end);
+        }
     }
 
     let stats = sim.stats();
@@ -294,7 +525,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         })
         .unwrap_or_default();
 
-    ScenarioOutcome {
+    Ok(ScenarioOutcome {
         protocol: scenario.protocol,
         submitted,
         confirmed: stats.confirmed_count(),
@@ -317,6 +548,20 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
             bytes_sent: stats.bytes_sent,
             peak_queue_len: last_report.peak_queue_len,
         },
+    })
+}
+
+/// Deprecated panicking shim over [`run_scenario`], kept for one release so
+/// downstream code can migrate to the fallible driver at its own pace.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the fallible `run_scenario` (returns Result) and handle \
+            `OrthrusError::Config`; this shim panics on invalid scenarios"
+)]
+pub fn run_scenario_or_panic(scenario: &Scenario) -> ScenarioOutcome {
+    match run_scenario(scenario) {
+        Ok(outcome) => outcome,
+        Err(err) => panic!("invalid scenario: {err}"),
     }
 }
 
@@ -419,14 +664,30 @@ where
 /// Run independent scenarios in parallel (one deterministic seeded
 /// [`Simulation`] per worker), with results in input order. Thread count
 /// comes from [`sweep_threads`].
-pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+///
+/// Every scenario is validated *before* any of them runs, so a sweep either
+/// starts whole or not at all.
+pub fn run_scenarios(scenarios: &[Scenario]) -> Result<Vec<ScenarioOutcome>> {
     run_scenarios_with_threads(scenarios, sweep_threads())
 }
 
 /// [`run_scenarios`] with an explicit worker count. `threads = 1` runs the
 /// scenarios serially on the calling thread.
-pub fn run_scenarios_with_threads(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioOutcome> {
+pub fn run_scenarios_with_threads(
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Result<Vec<ScenarioOutcome>> {
+    for (index, scenario) in scenarios.iter().enumerate() {
+        if let Err(err) = scenario.validate() {
+            return Err(OrthrusError::Config(format!(
+                "sweep scenario #{index} ({} on {} with {} replicas): {err}",
+                scenario.protocol, scenario.network, scenario.config.num_replicas
+            )));
+        }
+    }
     parallel_map(scenarios, threads, run_scenario)
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -440,26 +701,23 @@ mod tests {
             num_shared_objects: 4,
             ..WorkloadConfig::small()
         };
-        let mut config = ProtocolConfig::for_replicas(4);
-        config.batch_size = 32;
-        config.batch_timeout = Duration::from_millis(20);
-        Scenario {
-            protocol,
-            network: NetworkKind::Lan,
-            config,
-            workload,
-            faults: FaultPlan::none(),
-            num_clients: 2,
-            submission_window: Duration::from_millis(200),
-            max_sim_time: Duration::from_secs(60),
-            seed: 7,
-            queue: QueueKind::default(),
-        }
+        Scenario::new(protocol, NetworkKind::Lan, 4)
+            .with_workload(workload)
+            .with_batch_size(32)
+            .with_batch_timeout(Duration::from_millis(20))
+            .with_num_clients(2)
+            .with_submission_window(Duration::from_millis(200))
+            .with_max_sim_time(Duration::from_secs(60))
+            .with_seed(7)
+    }
+
+    fn run(scenario: &Scenario) -> ScenarioOutcome {
+        run_scenario(scenario).expect("scenario must validate")
     }
 
     #[test]
     fn orthrus_confirms_every_transaction_on_a_small_lan() {
-        let outcome = run_scenario(&tiny_scenario(ProtocolKind::Orthrus));
+        let outcome = run(&tiny_scenario(ProtocolKind::Orthrus));
         assert_eq!(outcome.submitted, 120);
         assert_eq!(outcome.confirmed, 120, "outcome: {outcome:?}");
         assert!(outcome.throughput_ktps > 0.0);
@@ -470,7 +728,7 @@ mod tests {
     #[test]
     fn all_protocols_complete_the_tiny_workload() {
         for protocol in ProtocolKind::ALL {
-            let outcome = run_scenario(&tiny_scenario(protocol));
+            let outcome = run(&tiny_scenario(protocol));
             assert_eq!(
                 outcome.confirmed, outcome.submitted,
                 "{protocol} confirmed {}/{}",
@@ -481,7 +739,7 @@ mod tests {
 
     #[test]
     fn replica_states_agree_after_a_run() {
-        let outcome = run_scenario(&tiny_scenario(ProtocolKind::Orthrus));
+        let outcome = run(&tiny_scenario(ProtocolKind::Orthrus));
         let digests: Vec<Digest> = outcome.state_digests.iter().map(|(_, d)| *d).collect();
         assert!(!digests.is_empty());
         assert!(
@@ -503,25 +761,16 @@ mod tests {
                 payment_share: 0.8,
                 ..WorkloadConfig::small()
             };
-            let mut config = ProtocolConfig::for_replicas(4);
-            config.batch_size = 16;
-            config.batch_timeout = Duration::from_millis(50);
-            Scenario {
-                protocol,
-                network: NetworkKind::Wan,
-                config,
-                workload,
-                faults: FaultPlan::none(),
-                num_clients: 2,
-                submission_window: Duration::from_secs(2),
-                max_sim_time: Duration::from_secs(120),
-                seed: 11,
-                queue: QueueKind::default(),
-            }
-            .with_straggler()
+            Scenario::new(protocol, NetworkKind::Wan, 4)
+                .with_workload(workload)
+                .with_batch_size(16)
+                .with_batch_timeout(Duration::from_millis(50))
+                .with_num_clients(2)
+                .with_seed(11)
+                .with_straggler()
         };
-        let iss = run_scenario(&scenario(ProtocolKind::Iss));
-        let orthrus = run_scenario(&scenario(ProtocolKind::Orthrus));
+        let iss = run(&scenario(ProtocolKind::Iss));
+        let orthrus = run(&scenario(ProtocolKind::Orthrus));
         assert_eq!(orthrus.confirmed, orthrus.submitted);
         // Orthrus payments bypass the straggler-induced global-ordering wait,
         // so its average latency must be clearly lower than ISS's.
@@ -540,14 +789,169 @@ mod tests {
             .with_seed(9)
             .with_max_sim_time(Duration::from_secs(30))
             .with_queue(QueueKind::Heap)
-            .with_max_inflight_blocks(8);
+            .with_max_inflight_blocks(8)
+            .with_batch_size(128)
+            .with_batch_timeout(Duration::from_millis(25))
+            .with_view_change_timeout(Duration::from_secs(5))
+            .with_num_clients(6)
+            .with_submission_window(Duration::from_secs(1))
+            .with_stop(vec![StopCondition::AllConfirmed]);
         assert_eq!(s.config.num_replicas, 8);
         assert_eq!(s.faults.stragglers.len(), 1);
         assert_eq!(s.seed, 9);
         assert_eq!(s.max_sim_time, Duration::from_secs(30));
         assert_eq!(s.queue, QueueKind::Heap);
         assert_eq!(s.config.max_inflight_blocks, 8);
-        assert!(s.config.validate().is_ok());
+        assert_eq!(s.config.batch_size, 128);
+        assert_eq!(s.config.batch_timeout, Duration::from_millis(25));
+        assert_eq!(s.config.view_change_timeout, Duration::from_secs(5));
+        assert_eq!(s.num_clients, 6);
+        assert_eq!(s.submission_window, Duration::from_secs(1));
+        assert_eq!(s.stop, vec![StopCondition::AllConfirmed]);
+        assert!(s.validate().is_ok());
+    }
+
+    /// The workload seed derives from the scenario seed at build time, so a
+    /// struct literal with a desynchronised `workload.seed` produces exactly
+    /// the same trace as the builder path.
+    #[test]
+    fn workload_seed_derives_from_scenario_seed() {
+        let via_builder = tiny_scenario(ProtocolKind::Orthrus);
+        let mut via_literal = tiny_scenario(ProtocolKind::Orthrus);
+        via_literal.workload.seed = 999_999; // would desynchronise pre-redesign
+        assert_eq!(
+            via_builder.effective_workload(),
+            via_literal.effective_workload()
+        );
+
+        let a = run(&via_builder);
+        let b = run(&via_literal);
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.confirmed, b.confirmed);
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.state_digests, b.state_digests);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn effective_workload_uses_the_scenario_seed() {
+        let s = tiny_scenario(ProtocolKind::Orthrus).with_seed(1234);
+        assert_eq!(s.effective_workload().seed, 1234);
+        // The stored workload config keeps whatever seed it was given; only
+        // the effective view is rewritten.
+        assert_eq!(s.workload.seed, WorkloadConfig::small().seed);
+    }
+
+    #[test]
+    fn run_rejects_invalid_scenarios_with_descriptive_errors() {
+        let cases: Vec<(Scenario, &str)> = vec![
+            (
+                tiny_scenario(ProtocolKind::Orthrus).with_num_clients(0),
+                "num_clients",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus)
+                    .with_faults(FaultPlan::none().with_selfish(ReplicaId::new(9))),
+                "replica",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus)
+                    .with_faults(FaultPlan::none().with_straggler(ReplicaId::new(0), 0.0)),
+                "straggler factor",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus)
+                    .with_faults(FaultPlan::none().with_crash(ReplicaId::new(4), SimTime::ZERO)),
+                "replica",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus).with_batch_size(0),
+                "batch size",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus).with_max_inflight_blocks(0),
+                "max_inflight_blocks",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus).with_workload(WorkloadConfig {
+                    num_transactions: 0,
+                    ..WorkloadConfig::small()
+                }),
+                "transaction",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus).with_submission_window(Duration::ZERO),
+                "submission_window",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus).with_max_sim_time(Duration::ZERO),
+                "max_sim_time",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus).with_stop(Vec::new()),
+                "stop condition",
+            ),
+            (
+                tiny_scenario(ProtocolKind::Orthrus).with_stop(vec![
+                    StopCondition::DigestsQuiesce,
+                    StopCondition::SimTimeLimit,
+                ]),
+                "digests_quiesce requires all_confirmed",
+            ),
+        ];
+        for (scenario, needle) in cases {
+            let err = run_scenario(&scenario).expect_err("scenario must be rejected");
+            let text = err.to_string();
+            assert!(
+                matches!(err, OrthrusError::Config(_)),
+                "expected Config error, got {err:?}"
+            );
+            assert!(text.contains(needle), "error {text:?} misses {needle:?}");
+        }
+    }
+
+    #[test]
+    fn sim_time_limit_alone_runs_the_full_budget() {
+        let scenario = tiny_scenario(ProtocolKind::Orthrus)
+            .with_max_sim_time(Duration::from_secs(5))
+            .with_stop(vec![StopCondition::SimTimeLimit]);
+        let outcome = run(&scenario);
+        assert_eq!(
+            outcome.report.end_time,
+            SimTime::ZERO + Duration::from_secs(5),
+            "SimTimeLimit alone must run out the clock"
+        );
+        // The tiny workload still completes well inside five seconds.
+        assert_eq!(outcome.confirmed, outcome.submitted);
+    }
+
+    #[test]
+    fn default_stop_conditions_match_the_composed_phases() {
+        // The default set and its explicit spelling are the same run.
+        let implicit = run(&tiny_scenario(ProtocolKind::Orthrus));
+        let explicit = run(&tiny_scenario(ProtocolKind::Orthrus).with_stop(vec![
+            StopCondition::AllConfirmed,
+            StopCondition::DigestsQuiesce,
+            StopCondition::SimTimeLimit,
+        ]));
+        assert_eq!(implicit.report, explicit.report);
+        assert_eq!(implicit.state_digests, explicit.state_digests);
+        assert_eq!(implicit.avg_latency, explicit.avg_latency);
+    }
+
+    #[test]
+    fn stop_condition_names_round_trip() {
+        for condition in StopCondition::DEFAULT {
+            assert_eq!(StopCondition::from_name(condition.name()), Some(condition));
+        }
+        assert_eq!(StopCondition::from_name("nonsense"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn panicking_shim_still_runs_valid_scenarios() {
+        let outcome = run_scenario_or_panic(&tiny_scenario(ProtocolKind::Orthrus));
+        assert_eq!(outcome.confirmed, outcome.submitted);
     }
 
     #[test]
@@ -567,8 +971,8 @@ mod tests {
             .into_iter()
             .map(tiny_scenario)
             .collect();
-        let serial = run_scenarios_with_threads(&scenarios, 1);
-        let pooled = run_scenarios_with_threads(&scenarios, 2);
+        let serial = run_scenarios_with_threads(&scenarios, 1).expect("valid sweep");
+        let pooled = run_scenarios_with_threads(&scenarios, 2).expect("valid sweep");
         assert_eq!(serial.len(), pooled.len());
         for (a, b) in serial.iter().zip(&pooled) {
             assert_eq!(a.protocol, b.protocol);
@@ -580,10 +984,24 @@ mod tests {
     }
 
     #[test]
+    fn sweep_validation_names_the_offending_scenario() {
+        let scenarios = vec![
+            tiny_scenario(ProtocolKind::Orthrus),
+            tiny_scenario(ProtocolKind::Ladon).with_num_clients(0),
+        ];
+        let err = run_scenarios_with_threads(&scenarios, 1).expect_err("must reject");
+        let text = err.to_string();
+        assert!(
+            text.contains("#1"),
+            "error does not locate the scenario: {text}"
+        );
+        assert!(text.contains("num_clients"), "{text}");
+    }
+
+    #[test]
     fn deeper_pipelining_is_a_valid_configuration() {
-        let mut s = tiny_scenario(ProtocolKind::Orthrus);
-        s.config.max_inflight_blocks = 16;
-        let outcome = run_scenario(&s);
+        let s = tiny_scenario(ProtocolKind::Orthrus).with_max_inflight_blocks(16);
+        let outcome = run(&s);
         assert_eq!(outcome.confirmed, outcome.submitted);
     }
 }
@@ -601,22 +1019,15 @@ mod debug_tests {
             num_shared_objects: 4,
             ..WorkloadConfig::small()
         };
-        let mut config = ProtocolConfig::for_replicas(4);
-        config.batch_size = 32;
-        config.batch_timeout = Duration::from_millis(20);
-        let scenario = Scenario {
-            protocol: ProtocolKind::Orthrus,
-            network: NetworkKind::Lan,
-            config,
-            workload,
-            faults: FaultPlan::none(),
-            num_clients: 2,
-            submission_window: Duration::from_millis(200),
-            max_sim_time: Duration::from_secs(10),
-            seed: 7,
-            queue: QueueKind::default(),
-        };
-        let (mut sim, submitted) = build_simulation(&scenario);
+        let scenario = Scenario::new(ProtocolKind::Orthrus, NetworkKind::Lan, 4)
+            .with_workload(workload)
+            .with_batch_size(32)
+            .with_batch_timeout(Duration::from_millis(20))
+            .with_num_clients(2)
+            .with_submission_window(Duration::from_millis(200))
+            .with_max_sim_time(Duration::from_secs(10))
+            .with_seed(7);
+        let (mut sim, submitted) = build_simulation(&scenario).expect("valid scenario");
         for step in 0..10 {
             let report = sim.run_for(Duration::from_secs(1));
             eprintln!(

@@ -14,7 +14,7 @@
 //!   fault plan records which replicas are flagged so that test assertions
 //!   and the harness can find them.
 
-use orthrus_types::{ReplicaId, SimTime};
+use orthrus_types::{OrthrusError, ReplicaId, SimTime};
 
 /// A straggler: a replica whose processing and links are `factor`× slower.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +111,39 @@ impl FaultPlan {
         self.selfish.contains(&replica)
     }
 
+    /// Check the plan against a deployment of `num_replicas` replicas: every
+    /// named replica must exist and every straggler factor must be a positive
+    /// finite slowdown. The scenario driver calls this before building a
+    /// simulation, so a bad plan surfaces as a descriptive
+    /// [`OrthrusError::Config`] instead of silently misbehaving mid-run.
+    pub fn validate(&self, num_replicas: u32) -> Result<(), OrthrusError> {
+        let check_replica = |replica: ReplicaId, role: &str| {
+            if replica.value() >= num_replicas {
+                return Err(OrthrusError::Config(format!(
+                    "fault plan names {role} replica {replica} but the deployment has only \
+                     {num_replicas} replicas (valid ids: 0..{num_replicas})"
+                )));
+            }
+            Ok(())
+        };
+        for crash in &self.crashes {
+            check_replica(crash.replica, "crashed")?;
+        }
+        for straggler in &self.stragglers {
+            check_replica(straggler.replica, "straggler")?;
+            if !straggler.factor.is_finite() || straggler.factor <= 0.0 {
+                return Err(OrthrusError::Config(format!(
+                    "straggler factor for replica {} must be a positive finite slowdown, got {}",
+                    straggler.replica, straggler.factor
+                )));
+            }
+        }
+        for &selfish in &self.selfish {
+            check_replica(selfish, "selfish")?;
+        }
+        Ok(())
+    }
+
     /// Number of replicas that are faulty in any way at `now`.
     pub fn faulty_count(&self, now: SimTime) -> usize {
         let mut faulty: Vec<ReplicaId> = self
@@ -173,6 +206,35 @@ mod tests {
         assert!(plan.is_selfish(r(4)));
         assert!(!plan.is_selfish(r(0)));
         assert_eq!(plan.faulty_count(SimTime::ZERO), 2);
+    }
+
+    #[test]
+    fn validate_accepts_in_range_plans() {
+        let plan = FaultPlan::none()
+            .with_crash(r(1), SimTime::from_secs(9))
+            .with_straggler(r(0), 10.0)
+            .with_selfish(r(3));
+        assert!(plan.validate(4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_replicas() {
+        for plan in [
+            FaultPlan::none().with_crash(r(4), SimTime::ZERO),
+            FaultPlan::none().with_straggler(r(7), 10.0),
+            FaultPlan::none().with_selfish(r(4)),
+        ] {
+            let err = plan.validate(4).unwrap_err();
+            assert!(err.to_string().contains("replica"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_positive_straggler_factors() {
+        for factor in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let plan = FaultPlan::none().with_straggler(r(0), factor);
+            assert!(plan.validate(4).is_err(), "factor {factor} accepted");
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use crate::zipf::Zipf;
 use orthrus_types::rng::{Rng, StdRng};
 use orthrus_types::transaction::DEFAULT_PAYLOAD_BYTES;
-use orthrus_types::{Amount, ClientId, ObjectKey, ObjectOp, SharedTx, Transaction, TxId, TxKind};
+use orthrus_types::{
+    Amount, ClientId, ObjectKey, ObjectOp, OrthrusError, SharedTx, Transaction, TxId, TxKind,
+};
 
 /// Configuration of the synthetic workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +114,56 @@ impl WorkloadConfig {
     /// account keys.
     pub fn shared_object_key(&self, index: u64) -> ObjectKey {
         ObjectKey::new((1 << 48) + index)
+    }
+
+    /// Check the configuration for values the generator cannot honour.
+    ///
+    /// The generator itself clamps some knobs (shares) and loops around
+    /// others, so a bad configuration used to *silently* produce a workload
+    /// that did not match what was asked for. The scenario driver calls this
+    /// up front and refuses to run instead.
+    pub fn validate(&self) -> Result<(), OrthrusError> {
+        if self.num_accounts < 2 {
+            return Err(OrthrusError::Config(format!(
+                "workload needs at least 2 accounts (payments have distinct payer and payee), \
+                 got {}",
+                self.num_accounts
+            )));
+        }
+        if self.num_transactions == 0 {
+            return Err(OrthrusError::Config(
+                "workload must contain at least one transaction".into(),
+            ));
+        }
+        for (name, share) in [
+            ("payment_share", self.payment_share),
+            ("multi_payer_share", self.multi_payer_share),
+        ] {
+            if !share.is_finite() || !(0.0..=1.0).contains(&share) {
+                return Err(OrthrusError::Config(format!(
+                    "{name} must be within [0, 1], got {share}"
+                )));
+            }
+        }
+        if !self.zipf_exponent.is_finite() || self.zipf_exponent < 0.0 {
+            return Err(OrthrusError::Config(format!(
+                "zipf_exponent must be a finite non-negative number, got {}",
+                self.zipf_exponent
+            )));
+        }
+        if self.max_transfer == 0 {
+            return Err(OrthrusError::Config(
+                "max_transfer must be at least 1".into(),
+            ));
+        }
+        if self.payment_share < 1.0 && self.num_shared_objects == 0 {
+            return Err(OrthrusError::Config(format!(
+                "payment_share {} admits contract transactions, which need at least one shared \
+                 object (num_shared_objects = 0)",
+                self.payment_share
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -259,6 +311,56 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_accepts_the_stock_configs() {
+        assert!(WorkloadConfig::default().validate().is_ok());
+        assert!(WorkloadConfig::small().validate().is_ok());
+        assert!(WorkloadConfig::hot_accounts().validate().is_ok());
+        // Payments-only workloads are allowed to have no shared objects.
+        let payments_only = WorkloadConfig {
+            num_shared_objects: 0,
+            ..WorkloadConfig::small().with_payment_share(1.0)
+        };
+        assert!(payments_only.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_impossible_configs() {
+        let cases: Vec<WorkloadConfig> = vec![
+            WorkloadConfig {
+                num_accounts: 1,
+                ..WorkloadConfig::small()
+            },
+            WorkloadConfig {
+                num_transactions: 0,
+                ..WorkloadConfig::small()
+            },
+            WorkloadConfig {
+                payment_share: 1.5,
+                ..WorkloadConfig::small()
+            },
+            WorkloadConfig {
+                multi_payer_share: -0.1,
+                ..WorkloadConfig::small()
+            },
+            WorkloadConfig {
+                zipf_exponent: f64::NAN,
+                ..WorkloadConfig::small()
+            },
+            WorkloadConfig {
+                max_transfer: 0,
+                ..WorkloadConfig::small()
+            },
+            WorkloadConfig {
+                num_shared_objects: 0,
+                ..WorkloadConfig::small().with_payment_share(0.5)
+            },
+        ];
+        for config in cases {
+            assert!(config.validate().is_err(), "accepted: {config:?}");
+        }
+    }
 
     #[test]
     fn generation_is_deterministic() {

@@ -22,8 +22,8 @@ fn scenario(straggler: bool) -> Scenario {
     };
     let mut s = Scenario::new(ProtocolKind::Orthrus, NetworkKind::Wan, 8)
         .with_workload(workload)
-        .with_seed(3);
-    s.config.batch_size = 256;
+        .with_seed(3)
+        .with_batch_size(256);
     if straggler {
         s = s.with_straggler();
     }
@@ -38,7 +38,7 @@ fn main() {
             "no straggler"
         };
         println!("== payments-only workload on 8 WAN replicas ({label}) ==");
-        let outcome = run_scenario(&scenario(straggler));
+        let outcome = run_scenario(&scenario(straggler)).expect("scenario must validate");
         println!(
             "  confirmed        : {}/{}",
             outcome.confirmed, outcome.submitted

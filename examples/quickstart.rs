@@ -1,6 +1,15 @@
 //! Quickstart: run Orthrus on a small simulated LAN cluster and print the
 //! headline metrics.
 //!
+//! The scenario is built with the fluent builder API and run through the
+//! fallible driver — an invalid configuration is rejected with a
+//! descriptive error before anything is simulated. The same run ships as a
+//! declarative spec (`scenarios/quickstart.orth`), so this is equivalent to:
+//!
+//! ```bash
+//! cargo run --release --bin orthrus -- run quickstart
+//! ```
+//!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
@@ -9,7 +18,8 @@ use orthrus::prelude::*;
 
 fn main() {
     // Four replicas, four SB instances, a small Ethereum-like workload with
-    // the paper's 46% payment share.
+    // the paper's 46% payment share. The scenario seed is the single source
+    // of truth: it drives both the workload generator and network jitter.
     let workload = WorkloadConfig::small()
         .with_transactions(1_000)
         .with_payment_share(0.46);
@@ -18,7 +28,13 @@ fn main() {
         .with_seed(1);
 
     println!("running Orthrus on a 4-replica simulated LAN ...");
-    let outcome = run_scenario(&scenario);
+    let outcome = match run_scenario(&scenario) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("scenario rejected: {err}");
+            std::process::exit(1);
+        }
+    };
 
     println!();
     println!("submitted transactions : {}", outcome.submitted);
@@ -38,7 +54,9 @@ fn main() {
     println!("  global ordering  {}", outcome.breakdown.global_ordering);
     println!("  reply            {}", outcome.breakdown.reply);
 
-    // Every honest replica must end in the same state (safety, Theorem 1).
+    // Every honest replica must end in the same state (safety, Theorem 1) —
+    // the default stop conditions (AllConfirmed, then DigestsQuiesce) drain
+    // the run until that digest agreement is observable.
     let first = outcome.state_digests[0].1;
     assert!(
         outcome.state_digests.iter().all(|(_, d)| *d == first),

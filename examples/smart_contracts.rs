@@ -23,11 +23,10 @@ fn scenario(protocol: ProtocolKind, payment_share: f64) -> Scenario {
         num_shared_objects: 16,
         ..WorkloadConfig::small()
     };
-    let mut s = Scenario::new(protocol, NetworkKind::Wan, 8)
+    Scenario::new(protocol, NetworkKind::Wan, 8)
         .with_workload(workload)
-        .with_seed(5);
-    s.config.batch_size = 256;
-    s
+        .with_seed(5)
+        .with_batch_size(256)
 }
 
 fn main() {
@@ -42,7 +41,7 @@ fn main() {
         (ProtocolKind::Orthrus, 0.9),
         (ProtocolKind::Ladon, 0.9),
     ] {
-        let outcome = run_scenario(&scenario(protocol, share));
+        let outcome = run_scenario(&scenario(protocol, share)).expect("scenario must validate");
         assert_eq!(outcome.confirmed, outcome.submitted);
         println!(
             "{:<10} {:>8.0}% {:>9.2} ktps {:>12} {:>13.1}%",

@@ -19,8 +19,8 @@ fn scenario(protocol: ProtocolKind, straggler: bool) -> Scenario {
     };
     let mut s = Scenario::new(protocol, NetworkKind::Wan, 8)
         .with_workload(workload)
-        .with_seed(7);
-    s.config.batch_size = 128;
+        .with_seed(7)
+        .with_batch_size(128);
     if straggler {
         s = s.with_straggler();
     }
@@ -51,7 +51,8 @@ fn main() {
         );
         let mut baseline_latency = None;
         for protocol in protocols {
-            let outcome = run_scenario(&scenario(protocol, straggler));
+            let outcome =
+                run_scenario(&scenario(protocol, straggler)).expect("scenario must validate");
             println!(
                 "{:<10} {:>9.2} ktps {:>14} {:>14}",
                 protocol.label(),

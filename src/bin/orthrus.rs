@@ -1,0 +1,277 @@
+//! The `orthrus` CLI: run the paper's experiment grids (and your own) from
+//! declarative `.orth` spec files.
+//!
+//! ```text
+//! orthrus list
+//!     Show every named spec in the registry.
+//!
+//! orthrus show <name|file.orth>
+//!     Print a spec in canonical form plus its lowered grid.
+//!
+//! orthrus run <name|file.orth> [--threads N] [--json PATH] [--full]
+//!     Lower the spec and run every point on the sweep pool, printing the
+//!     figure table and (optionally) writing the same JSON document the
+//!     bench harness emits.
+//!
+//! orthrus lint [files...]
+//!     Parse, round-trip and lower every registry spec (and any extra
+//!     files), validating each resulting scenario. Exits non-zero on the
+//!     first failure.
+//! ```
+//!
+//! Specs are resolved against the built-in registry first; anything
+//! containing a path separator or ending in `.orth` is read from disk.
+//! `--full` (or `ORTHRUS_FULL_SCALE=1`) applies the spec's `[full_scale]`
+//! overrides; `--threads` (or `ORTHRUS_SWEEP_THREADS`) sets the pool width.
+
+use orthrus_bench::harness::{self, MeasuredPoint, SweepJob};
+use orthrus_core::sweep_threads;
+use orthrus_lab::{parse, registry, serialize, Spec, SpecScale};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  orthrus list\n  orthrus show <name|file.orth>\n  orthrus run <name|file.orth> \
+         [--threads N] [--json PATH] [--full]\n  orthrus lint [files...]"
+    );
+    ExitCode::from(2)
+}
+
+/// Resolve a spec argument: registry name, or a file when it looks like a
+/// path.
+fn load_spec(arg: &str) -> Result<Spec, String> {
+    let looks_like_path = arg.contains('/') || arg.contains('\\') || arg.ends_with(".orth");
+    if !looks_like_path {
+        if let Some(entry) = registry::find(arg) {
+            return entry
+                .spec()
+                .map_err(|err| format!("registry spec {arg:?}: {err}"));
+        }
+    }
+    match std::fs::read_to_string(arg) {
+        Ok(text) => parse(&text).map_err(|err| format!("{arg}: {err}")),
+        Err(io) if looks_like_path => Err(format!("{arg}: {io}")),
+        Err(_) => {
+            let known: Vec<&str> = registry::ENTRIES.iter().map(|e| e.name).collect();
+            Err(format!(
+                "no registry entry or file named {arg:?} (known specs: {})",
+                known.join(", ")
+            ))
+        }
+    }
+}
+
+fn x_label(spec: &Spec) -> String {
+    match spec {
+        Spec::Sweep(sweep) => sweep
+            .x_axis
+            .map(|axis| axis.name().to_string())
+            .unwrap_or_else(|| "replicas".to_string()),
+        Spec::Scenario(_) => "replicas".to_string(),
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<34} {:<9} {:>7}  title", "name", "kind", "points");
+    for entry in registry::ENTRIES {
+        match entry.spec() {
+            Ok(spec) => {
+                let points = spec
+                    .lower(SpecScale::Reduced)
+                    .map(|p| p.len().to_string())
+                    .unwrap_or_else(|_| "?".to_string());
+                println!(
+                    "{:<34} {:<9} {:>7}  {}",
+                    entry.name,
+                    spec.kind(),
+                    points,
+                    spec.title().unwrap_or("")
+                );
+            }
+            Err(err) => {
+                eprintln!("{:<34} UNPARSEABLE: {err}", entry.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_show(arg: &str) -> ExitCode {
+    let spec = match load_spec(arg) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", serialize(&spec));
+    for scale in [SpecScale::Reduced, SpecScale::Full] {
+        match spec.lower(scale) {
+            Ok(points) => {
+                println!("\n# {scale:?} grid: {} point(s)", points.len());
+                for point in &points {
+                    let s = &point.scenario;
+                    println!(
+                        "#   {:<8} x={:<8} {} {} replicas, {} txs, seed {}",
+                        point.label,
+                        point.x,
+                        s.network,
+                        s.config.num_replicas,
+                        s.workload.num_transactions,
+                        s.seed
+                    );
+                }
+            }
+            Err(err) => {
+                eprintln!("error lowering at {scale:?}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut target: Option<&str> = None;
+    let mut threads: Option<usize> = None;
+    let mut json_path: Option<&str> = None;
+    let mut scale = SpecScale::from_env();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("error: --threads needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("error: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--full" => scale = SpecScale::Full,
+            other if target.is_none() && !other.starts_with('-') => target = Some(other),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(target) = target else {
+        return usage();
+    };
+    let spec = match load_spec(target) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let points = match spec.lower(scale) {
+        Ok(points) => points,
+        Err(err) => {
+            eprintln!("error lowering {}: {err}", spec.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Validate the whole grid before running any point, so a bad spec fails
+    // in milliseconds instead of after minutes of simulation.
+    for point in &points {
+        if let Err(err) = point.scenario.validate() {
+            eprintln!(
+                "error: {} (label {}, x {}): {err}",
+                spec.name(),
+                point.label,
+                point.x
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let threads = threads.unwrap_or_else(sweep_threads);
+    let jobs: Vec<SweepJob> = points.into_iter().map(SweepJob::from).collect();
+    let label = x_label(&spec);
+    let title = spec.title().unwrap_or_else(|| spec.name());
+    harness::print_header(
+        &format!("{title} ({scale:?} scale, {threads} thread(s))"),
+        &label,
+    );
+    let measured: Vec<MeasuredPoint> = harness::measure_sweep_with_threads(&jobs, threads);
+    for point in &measured {
+        harness::print_row(point);
+    }
+    if let Some(path) = json_path {
+        let doc = harness::series_json(spec.name(), &label, &measured);
+        if let Err(err) = std::fs::write(path, doc) {
+            eprintln!("error: could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("(series written to {path})");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_lint(files: &[String]) -> ExitCode {
+    let mut checked = 0usize;
+    let mut failed = false;
+    let mut check = |name: &str, spec: Result<Spec, String>| {
+        checked += 1;
+        let spec = match spec {
+            Ok(spec) => spec,
+            Err(err) => {
+                eprintln!("FAIL {name}: {err}");
+                failed = true;
+                return;
+            }
+        };
+        // Canonical round trip: serialize ∘ parse must be the identity on
+        // the data model.
+        match parse(&serialize(&spec)) {
+            Ok(reparsed) if reparsed == spec => {}
+            Ok(_) => {
+                eprintln!("FAIL {name}: serialize/parse round trip altered the spec");
+                failed = true;
+                return;
+            }
+            Err(err) => {
+                eprintln!("FAIL {name}: canonical form does not reparse: {err}");
+                failed = true;
+                return;
+            }
+        }
+        match spec.lint() {
+            Ok(points) => println!("ok   {name}: {points} point(s)"),
+            Err(err) => {
+                eprintln!("FAIL {name}: {err}");
+                failed = true;
+            }
+        }
+    };
+    for entry in registry::ENTRIES {
+        check(entry.name, entry.spec().map_err(|err| err.to_string()));
+    }
+    for file in files {
+        check(file, load_spec(file));
+    }
+    println!("linted {checked} spec(s)");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") if args.len() == 1 => cmd_list(),
+        Some("show") if args.len() == 2 => cmd_show(&args[1]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -18,13 +18,16 @@ fn scenario(seed: u64) -> Scenario {
         num_shared_objects: 8,
         ..WorkloadConfig::small()
     };
-    let mut s = Scenario::new(ProtocolKind::Orthrus, NetworkKind::Lan, 4)
+    Scenario::new(ProtocolKind::Orthrus, NetworkKind::Lan, 4)
         .with_workload(workload)
-        .with_seed(seed);
-    s.config.batch_size = 64;
-    s.config.batch_timeout = Duration::from_millis(20);
-    s.submission_window = Duration::from_millis(500);
-    s
+        .with_seed(seed)
+        .with_batch_size(64)
+        .with_batch_timeout(Duration::from_millis(20))
+        .with_submission_window(Duration::from_millis(500))
+}
+
+fn run(scenario: &Scenario) -> ScenarioOutcome {
+    run_scenario(scenario).expect("scenario must validate")
 }
 
 /// A compact fingerprint of everything the fabric could plausibly perturb.
@@ -41,8 +44,8 @@ fn fingerprint(outcome: &ScenarioOutcome) -> (usize, usize, u64, u64, u64, Vec<u
 
 #[test]
 fn same_seed_same_counts_and_state() {
-    let first = run_scenario(&scenario(7));
-    let second = run_scenario(&scenario(7));
+    let first = run(&scenario(7));
+    let second = run(&scenario(7));
     assert_eq!(fingerprint(&first), fingerprint(&second));
     assert_eq!(first.confirmed, first.submitted, "workload must complete");
     assert_eq!(
@@ -53,8 +56,8 @@ fn same_seed_same_counts_and_state() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run_scenario(&scenario(7));
-    let b = run_scenario(&scenario(8));
+    let a = run(&scenario(7));
+    let b = run(&scenario(8));
     // Both complete, but the traces (timings, bytes) must differ — if they
     // do not, the seed is being ignored somewhere.
     assert_eq!(a.confirmed, a.submitted);
@@ -73,14 +76,14 @@ fn different_seeds_differ() {
 #[test]
 fn heap_and_calendar_queues_produce_identical_traces() {
     for protocol in ProtocolKind::ALL {
-        let run = |kind: QueueKind| {
+        let run_with = |kind: QueueKind| {
             let mut s = scenario(13);
             s.protocol = protocol;
             s.queue = kind;
-            run_scenario(&s)
+            run(&s)
         };
-        let heap = run(QueueKind::Heap);
-        let calendar = run(QueueKind::Calendar);
+        let heap = run_with(QueueKind::Heap);
+        let calendar = run_with(QueueKind::Calendar);
         assert_eq!(
             fingerprint(&heap),
             fingerprint(&calendar),
@@ -103,8 +106,8 @@ fn heap_and_calendar_queues_produce_identical_traces() {
 #[test]
 fn sweeps_are_deterministic_across_thread_counts() {
     let scenarios: Vec<Scenario> = (0..4).map(|i| scenario(20 + i)).collect();
-    let serial = run_scenarios_with_threads(&scenarios, 1);
-    let pooled = run_scenarios_with_threads(&scenarios, 3);
+    let serial = run_scenarios_with_threads(&scenarios, 1).expect("valid sweep");
+    let pooled = run_scenarios_with_threads(&scenarios, 3).expect("valid sweep");
     assert_eq!(serial.len(), pooled.len());
     for (i, (a, b)) in serial.iter().zip(&pooled).enumerate() {
         assert_eq!(
@@ -126,14 +129,14 @@ fn sweeps_are_deterministic_across_thread_counts() {
 #[test]
 fn parallel_execution_matches_serial_for_every_protocol() {
     for protocol in ProtocolKind::ALL {
-        let run = |parallel: bool| {
+        let run_with = |parallel: bool| {
             let mut s = scenario(17);
             s.protocol = protocol;
             s.config.parallel_execution = parallel;
-            run_scenario(&s)
+            run(&s)
         };
-        let serial = run(false);
-        let parallel = run(true);
+        let serial = run_with(false);
+        let parallel = run_with(true);
         assert_eq!(
             fingerprint(&serial),
             fingerprint(&parallel),
@@ -161,7 +164,7 @@ fn determinism_holds_for_every_protocol() {
         let make = || {
             let mut s = scenario(11);
             s.protocol = protocol;
-            run_scenario(&s)
+            run(&s)
         };
         let first = make();
         let second = make();

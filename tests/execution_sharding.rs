@@ -312,13 +312,16 @@ fn base_scenario(protocol: ProtocolKind, seed: u64) -> Scenario {
         num_shared_objects: 8,
         ..WorkloadConfig::small()
     };
-    let mut s = Scenario::new(protocol, NetworkKind::Lan, 4)
+    Scenario::new(protocol, NetworkKind::Lan, 4)
         .with_workload(workload)
-        .with_seed(seed);
-    s.config.batch_size = 64;
-    s.config.batch_timeout = Duration::from_millis(20);
-    s.submission_window = Duration::from_millis(500);
-    s
+        .with_seed(seed)
+        .with_batch_size(64)
+        .with_batch_timeout(Duration::from_millis(20))
+        .with_submission_window(Duration::from_millis(500))
+}
+
+fn run(scenario: &Scenario) -> ScenarioOutcome {
+    run_scenario(scenario).expect("scenario must validate")
 }
 
 /// Parallel and serial partial-log execution are bit-identical for every
@@ -327,9 +330,8 @@ fn base_scenario(protocol: ProtocolKind, seed: u64) -> Scenario {
 fn parallel_execution_is_bit_identical_for_all_protocols() {
     for protocol in ProtocolKind::ALL {
         for seed in [5u64, 6] {
-            let serial = run_scenario(&base_scenario(protocol, seed));
-            let parallel =
-                run_scenario(&base_scenario(protocol, seed).with_parallel_execution(true));
+            let serial = run(&base_scenario(protocol, seed));
+            let parallel = run(&base_scenario(protocol, seed).with_parallel_execution(true));
             assert_eq!(
                 fingerprint(&serial),
                 fingerprint(&parallel),
@@ -359,24 +361,20 @@ fn parallel_execution_is_bit_identical_under_faults() {
         ProtocolKind::Ladon,
         ProtocolKind::Iss,
     ] {
-        let straggler_serial = run_scenario(&base_scenario(protocol, 9).with_straggler());
-        let straggler_parallel = run_scenario(
-            &base_scenario(protocol, 9)
-                .with_straggler()
-                .with_parallel_execution(true),
-        );
+        let straggler_serial = run(&base_scenario(protocol, 9).with_straggler());
+        let straggler_parallel = run(&base_scenario(protocol, 9)
+            .with_straggler()
+            .with_parallel_execution(true));
         assert_eq!(
             fingerprint(&straggler_serial),
             fingerprint(&straggler_parallel),
             "{protocol} diverged under a straggler"
         );
 
-        let crash_serial = run_scenario(&base_scenario(protocol, 10).with_faults(crash_plan()));
-        let crash_parallel = run_scenario(
-            &base_scenario(protocol, 10)
-                .with_faults(crash_plan())
-                .with_parallel_execution(true),
-        );
+        let crash_serial = run(&base_scenario(protocol, 10).with_faults(crash_plan()));
+        let crash_parallel = run(&base_scenario(protocol, 10)
+            .with_faults(crash_plan())
+            .with_parallel_execution(true));
         assert_eq!(
             fingerprint(&crash_serial),
             fingerprint(&crash_parallel),
@@ -395,18 +393,20 @@ fn parallel_execution_is_bit_identical_under_faults() {
 fn parallel_execution_conserves_supply_across_seeds() {
     for seed in [21u64, 22, 23] {
         let scenario = base_scenario(ProtocolKind::Orthrus, seed).with_parallel_execution(true);
-        let (sim, _) = orthrus_core::build_simulation(&scenario);
+        let (sim, _) = orthrus_core::build_simulation(&scenario).expect("valid scenario");
         let genesis_supply: u128 = sim
             .actor_as::<orthrus_core::ReplicaNode>(orthrus_sim::NodeId::replica(0))
             .unwrap()
             .executor()
             .total_supply();
-        let outcome = run_scenario(&scenario);
+        let outcome = run(&scenario);
         assert_eq!(outcome.confirmed, outcome.submitted, "seed {seed}");
 
-        // Re-run and inspect the final executor states directly.
-        let workload = Workload::generate(scenario.workload.clone());
-        let (mut sim, _) = orthrus_core::build_simulation(&scenario);
+        // Re-run and inspect the final executor states directly. The
+        // workload seed derives from the scenario seed at build time, so the
+        // regenerated trace must come from `effective_workload()`.
+        let workload = Workload::generate(scenario.effective_workload());
+        let (mut sim, _) = orthrus_core::build_simulation(&scenario).expect("valid scenario");
         sim.run_until(orthrus_types::SimTime::ZERO + scenario.max_sim_time);
         for r in 0..scenario.config.num_replicas {
             let node = sim
@@ -438,8 +438,8 @@ fn hot_account_workload_shows_shard_imbalance() {
         .with_seed(31);
     scenario.workload.num_accounts = 64;
     scenario.workload.num_shared_objects = 8;
-    let serial = run_scenario(&scenario);
-    let parallel = run_scenario(&scenario.clone().with_parallel_execution(true));
+    let serial = run(&scenario);
+    let parallel = run(&scenario.clone().with_parallel_execution(true));
     assert_eq!(serial.shard_ops, parallel.shard_ops);
     assert_eq!(serial.confirmed, serial.submitted);
 

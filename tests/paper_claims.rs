@@ -12,22 +12,25 @@ fn wan_scenario(protocol: ProtocolKind, payment_share: f64, seed: u64) -> Scenar
         num_shared_objects: 16,
         ..WorkloadConfig::small()
     };
-    let mut scenario = Scenario::new(protocol, NetworkKind::Wan, 8)
+    Scenario::new(protocol, NetworkKind::Wan, 8)
         .with_workload(workload)
-        .with_seed(seed);
-    scenario.config.batch_size = 64;
-    scenario.config.batch_timeout = Duration::from_millis(50);
-    scenario.submission_window = Duration::from_secs(2);
-    scenario
+        .with_seed(seed)
+        .with_batch_size(64)
+        .with_batch_timeout(Duration::from_millis(50))
+        .with_submission_window(Duration::from_secs(2))
+}
+
+fn run(scenario: &Scenario) -> ScenarioOutcome {
+    run_scenario(scenario).expect("scenario must validate")
 }
 
 /// Claim (Fig. 3c/3d): with one straggler, Orthrus's latency is far below the
 /// pre-determined protocols' latency and no worse than Ladon's.
 #[test]
 fn straggler_latency_ranking_matches_the_paper() {
-    let orthrus = run_scenario(&wan_scenario(ProtocolKind::Orthrus, 0.46, 1).with_straggler());
-    let ladon = run_scenario(&wan_scenario(ProtocolKind::Ladon, 0.46, 1).with_straggler());
-    let iss = run_scenario(&wan_scenario(ProtocolKind::Iss, 0.46, 1).with_straggler());
+    let orthrus = run(&wan_scenario(ProtocolKind::Orthrus, 0.46, 1).with_straggler());
+    let ladon = run(&wan_scenario(ProtocolKind::Ladon, 0.46, 1).with_straggler());
+    let iss = run(&wan_scenario(ProtocolKind::Iss, 0.46, 1).with_straggler());
 
     assert_eq!(orthrus.confirmed, orthrus.submitted);
     assert_eq!(ladon.confirmed, ladon.submitted);
@@ -53,8 +56,8 @@ fn straggler_latency_ranking_matches_the_paper() {
 /// ISS's end-to-end latency but not Orthrus's.
 #[test]
 fn latency_breakdown_shows_global_ordering_dominates_iss_not_orthrus() {
-    let orthrus = run_scenario(&wan_scenario(ProtocolKind::Orthrus, 0.46, 2).with_straggler());
-    let iss = run_scenario(&wan_scenario(ProtocolKind::Iss, 0.46, 2).with_straggler());
+    let orthrus = run(&wan_scenario(ProtocolKind::Orthrus, 0.46, 2).with_straggler());
+    let iss = run(&wan_scenario(ProtocolKind::Iss, 0.46, 2).with_straggler());
     let orthrus_share = orthrus.breakdown.global_ordering_share();
     let iss_share = iss.breakdown.global_ordering_share();
     assert!(
@@ -71,8 +74,8 @@ fn latency_breakdown_shows_global_ordering_dominates_iss_not_orthrus() {
 /// especially with a straggler.
 #[test]
 fn higher_payment_share_reduces_orthrus_latency_under_straggler() {
-    let low = run_scenario(&wan_scenario(ProtocolKind::Orthrus, 0.0, 3).with_straggler());
-    let high = run_scenario(&wan_scenario(ProtocolKind::Orthrus, 1.0, 3).with_straggler());
+    let low = run(&wan_scenario(ProtocolKind::Orthrus, 0.0, 3).with_straggler());
+    let high = run(&wan_scenario(ProtocolKind::Orthrus, 1.0, 3).with_straggler());
     assert_eq!(low.confirmed, low.submitted);
     assert_eq!(high.confirmed, high.submitted);
     assert!(
@@ -90,7 +93,7 @@ fn higher_payment_share_reduces_orthrus_latency_under_straggler() {
 fn no_straggler_orthrus_is_competitive() {
     let mut latencies = Vec::new();
     for protocol in ProtocolKind::ALL {
-        let outcome = run_scenario(&wan_scenario(protocol, 0.46, 4));
+        let outcome = run(&wan_scenario(protocol, 0.46, 4));
         assert_eq!(outcome.confirmed, outcome.submitted, "{protocol}");
         latencies.push((protocol, outcome.avg_latency));
     }

@@ -15,18 +15,21 @@ fn base_scenario(protocol: ProtocolKind, txs: usize, seed: u64) -> Scenario {
         num_shared_objects: 8,
         ..WorkloadConfig::small()
     };
-    let mut scenario = Scenario::new(protocol, NetworkKind::Lan, 4)
+    Scenario::new(protocol, NetworkKind::Lan, 4)
         .with_workload(workload)
-        .with_seed(seed);
-    scenario.config.batch_size = 64;
-    scenario.config.batch_timeout = Duration::from_millis(20);
-    scenario
+        .with_seed(seed)
+        .with_batch_size(64)
+        .with_batch_timeout(Duration::from_millis(20))
+}
+
+fn run(scenario: &Scenario) -> ScenarioOutcome {
+    run_scenario(scenario).expect("scenario must validate")
 }
 
 #[test]
 fn liveness_every_protocol_confirms_the_whole_workload() {
     for protocol in ProtocolKind::ALL {
-        let outcome = run_scenario(&base_scenario(protocol, 300, 1));
+        let outcome = run(&base_scenario(protocol, 300, 1));
         assert_eq!(
             outcome.confirmed, outcome.submitted,
             "{protocol}: {}/{} confirmed",
@@ -40,7 +43,7 @@ fn liveness_every_protocol_confirms_the_whole_workload() {
 #[test]
 fn safety_replica_states_agree_for_every_protocol() {
     for protocol in ProtocolKind::ALL {
-        let outcome = run_scenario(&base_scenario(protocol, 250, 2));
+        let outcome = run(&base_scenario(protocol, 250, 2));
         assert_eq!(outcome.confirmed, outcome.submitted, "{protocol}");
         let first = outcome.state_digests[0].1;
         assert!(
@@ -53,13 +56,13 @@ fn safety_replica_states_agree_for_every_protocol() {
 
 #[test]
 fn runs_are_deterministic_for_a_fixed_seed() {
-    let a = run_scenario(&base_scenario(ProtocolKind::Orthrus, 200, 3));
-    let b = run_scenario(&base_scenario(ProtocolKind::Orthrus, 200, 3));
+    let a = run(&base_scenario(ProtocolKind::Orthrus, 200, 3));
+    let b = run(&base_scenario(ProtocolKind::Orthrus, 200, 3));
     assert_eq!(a.confirmed, b.confirmed);
     assert_eq!(a.avg_latency, b.avg_latency);
     assert_eq!(a.state_digests, b.state_digests);
     // A different seed gives a different (but still complete) run.
-    let c = run_scenario(&base_scenario(ProtocolKind::Orthrus, 200, 4));
+    let c = run(&base_scenario(ProtocolKind::Orthrus, 200, 4));
     assert_eq!(c.confirmed, c.submitted);
 }
 
@@ -68,8 +71,8 @@ fn orthrus_and_ladon_converge_to_the_same_final_balances() {
     // The same workload executed by two different protocols must produce the
     // same final object states: the hybrid fast path changes *when*
     // transactions confirm, never *what* they compute.
-    let orthrus = run_scenario(&base_scenario(ProtocolKind::Orthrus, 250, 5));
-    let ladon = run_scenario(&base_scenario(ProtocolKind::Ladon, 250, 5));
+    let orthrus = run(&base_scenario(ProtocolKind::Orthrus, 250, 5));
+    let ladon = run(&base_scenario(ProtocolKind::Ladon, 250, 5));
     assert_eq!(orthrus.confirmed, orthrus.submitted);
     assert_eq!(ladon.confirmed, ladon.submitted);
     assert_eq!(
@@ -92,7 +95,7 @@ fn payments_only_workload_avoids_global_ordering_in_orthrus() {
         .with_workload(workload)
         .with_seed(6);
     scenario.config.batch_size = 64;
-    let outcome = run_scenario(&scenario);
+    let outcome = run(&scenario);
     assert_eq!(outcome.confirmed, outcome.submitted);
     // Payments confirm straight from the partial logs, so the global-ordering
     // share of end-to-end latency is negligible.
@@ -110,7 +113,7 @@ fn selfish_replicas_do_not_stop_confirmation() {
     // everything, just slower on the selfish replica's instances.
     let mut scenario = base_scenario(ProtocolKind::Orthrus, 200, 7);
     scenario.faults = FaultPlan::none().with_selfish(ReplicaId::new(3));
-    let outcome = run_scenario(&scenario);
+    let outcome = run(&scenario);
     assert_eq!(outcome.confirmed, outcome.submitted);
 }
 
@@ -124,7 +127,7 @@ fn crash_fault_triggers_view_change_and_recovery() {
     scenario.config.view_change_timeout = Duration::from_secs(2);
     scenario.faults = FaultPlan::none().with_crash(ReplicaId::new(0), SimTime::from_millis(200));
     scenario.max_sim_time = Duration::from_secs(120);
-    let outcome = run_scenario(&scenario);
+    let outcome = run(&scenario);
     assert!(
         outcome.view_changes > 0,
         "expected at least one view change, got none"
@@ -138,10 +141,10 @@ fn crash_fault_triggers_view_change_and_recovery() {
 
 #[test]
 fn wan_and_lan_models_produce_sane_relative_latencies() {
-    let lan = run_scenario(&base_scenario(ProtocolKind::Orthrus, 150, 9));
+    let lan = run(&base_scenario(ProtocolKind::Orthrus, 150, 9));
     let mut wan_scenario = base_scenario(ProtocolKind::Orthrus, 150, 9);
     wan_scenario.network = NetworkKind::Wan;
-    let wan = run_scenario(&wan_scenario);
+    let wan = run(&wan_scenario);
     assert_eq!(lan.confirmed, lan.submitted);
     assert_eq!(wan.confirmed, wan.submitted);
     // WAN latency must be clearly higher than LAN latency for the same
