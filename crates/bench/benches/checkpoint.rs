@@ -1,0 +1,283 @@
+//! Checkpoint snapshot: measures that checkpoint-driven truncation turns
+//! log retention from monotone growth into a plateau, and how long a
+//! crashed replica takes to rejoin via state transfer. Records the result
+//! to `BENCH_checkpoint.json` at the repository root.
+//!
+//! Two measurements:
+//!
+//! 1. **Retention** — a long fig3-class run (every instance proposing many
+//!    blocks) executed twice, checkpoint GC on and off, sampling replica
+//!    0's retained log entries (plog blocks + glog payloads + PBFT slots)
+//!    every 250 ms of virtual time. The two runs must be bit-identical in
+//!    everything except retention (truncation is memory-only); with GC on
+//!    the series plateaus at the in-flight window, with GC off it tracks
+//!    the delivered history.
+//! 2. **Recovery** — a run in which one replica crashes mid-load and
+//!    restarts later: reports the state-transfer latency (restart → first
+//!    install) and checks the recovered replica reconverges to the same
+//!    state digest as its peers.
+//!
+//! Run with `cargo bench --bench checkpoint` (reduced scale: 16 replicas)
+//! or `ORTHRUS_FULL_SCALE=1 cargo bench --bench checkpoint` (the paper's
+//! 128 replicas).
+
+use orthrus_bench::harness::BenchScale;
+use orthrus_core::{build_simulation, run_scenario, ReplicaNode, Scenario};
+use orthrus_sim::NodeId;
+use orthrus_types::{Digest, Duration, NetworkKind, ProtocolKind, ReplicaId, SimTime};
+use orthrus_workload::WorkloadConfig;
+use std::fmt::Write as _;
+
+struct RetentionRun {
+    /// (virtual ms, retained entries) samples on replica 0.
+    series: Vec<(u64, u64)>,
+    final_retained: u64,
+    peak_retained: u64,
+    peak_retained_bytes: u64,
+    confirmed: usize,
+    digests: Vec<Digest>,
+    events: u64,
+}
+
+fn retention_scenario(scale: BenchScale, gc: bool) -> Scenario {
+    let (replicas, transactions) = match scale {
+        BenchScale::Reduced => (16, 6_000),
+        BenchScale::Full => (128, 60_000),
+    };
+    let workload = WorkloadConfig {
+        num_accounts: 2_000,
+        num_transactions: transactions,
+        payment_share: 0.46,
+        multi_payer_share: 0.05,
+        num_shared_objects: 64,
+        ..WorkloadConfig::default()
+    };
+    let mut scenario = Scenario::new(ProtocolKind::Orthrus, NetworkKind::Lan, replicas)
+        .with_workload(workload)
+        .with_seed(42)
+        .with_batch_size(32)
+        .with_batch_timeout(Duration::from_millis(20))
+        .with_num_clients(8)
+        .with_submission_window(Duration::from_secs(10))
+        .with_max_sim_time(Duration::from_secs(120))
+        .with_checkpoint_gc(gc);
+    scenario.config.checkpoint_interval = 4;
+    scenario
+}
+
+/// Run the retention scenario in fixed 250 ms slices, sampling replica 0's
+/// retained-entry count after each slice. Slicing is identical for both GC
+/// settings, so everything except retention must match exactly.
+fn measure_retention(scenario: &Scenario) -> RetentionRun {
+    let (mut sim, submitted) = build_simulation(scenario).expect("bench scenario must validate");
+    let deadline = SimTime::ZERO + scenario.max_sim_time;
+    let mut series = Vec::new();
+    let mut peak = 0u64;
+    let slice = Duration::from_millis(250);
+    // Run to all-confirmed, then two extra seconds of drain so the last
+    // checkpoints (and their truncations) land.
+    let mut drain_until: Option<SimTime> = None;
+    let report = loop {
+        let now = sim.now();
+        if now >= deadline {
+            break sim.run_until(now);
+        }
+        let slice_end = (now + slice).min(deadline);
+        let report = sim.run_until(slice_end);
+        let node = sim
+            .actor_as::<ReplicaNode>(NodeId::replica(0))
+            .expect("replica 0 exists");
+        let retained = node.retained_log_entries();
+        peak = peak.max(retained);
+        series.push((sim.now().as_micros() / 1_000, retained));
+        match drain_until {
+            Some(t) if sim.now() >= t => break report,
+            Some(_) => {}
+            None => {
+                if sim.stats().confirmed_count() >= submitted {
+                    drain_until = Some(sim.now() + Duration::from_secs(2));
+                }
+            }
+        }
+    };
+    let node = sim
+        .actor_as::<ReplicaNode>(NodeId::replica(0))
+        .expect("replica 0 exists");
+    let digests = (0..scenario.config.num_replicas)
+        .filter_map(|r| {
+            sim.actor_as::<ReplicaNode>(NodeId::replica(r))
+                .map(|n| n.executor().state_digest())
+        })
+        .collect();
+    RetentionRun {
+        final_retained: node.retained_log_entries(),
+        peak_retained: node.peak_retained_entries().max(peak),
+        peak_retained_bytes: node.peak_retained_bytes(),
+        confirmed: sim.stats().confirmed_count(),
+        digests,
+        series,
+        events: report.events_processed,
+    }
+}
+
+fn series_json(series: &[(u64, u64)]) -> String {
+    let mut out = String::from("[");
+    for (i, (t, entries)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"t_ms\":{t},\"entries\":{entries}}}");
+    }
+    out.push(']');
+    out
+}
+
+struct RecoveryRun {
+    replicas: u32,
+    crash_at_ms: u64,
+    recover_at_ms: u64,
+    recovery_latency_ms: f64,
+    digests_converged: bool,
+    confirmed: usize,
+    submitted: usize,
+}
+
+fn measure_recovery(scale: BenchScale) -> RecoveryRun {
+    let replicas = match scale {
+        BenchScale::Reduced => 16,
+        BenchScale::Full => 128,
+    };
+    let crash_at = SimTime::from_millis(500);
+    let recover_at = SimTime::from_millis(3_000);
+    let workload = WorkloadConfig {
+        num_accounts: 1_000,
+        num_transactions: 3_000,
+        payment_share: 0.46,
+        multi_payer_share: 0.05,
+        num_shared_objects: 32,
+        ..WorkloadConfig::default()
+    };
+    let scenario = Scenario::new(ProtocolKind::Orthrus, NetworkKind::Lan, replicas)
+        .with_workload(workload)
+        .with_seed(42)
+        .with_batch_size(32)
+        .with_batch_timeout(Duration::from_millis(20))
+        .with_num_clients(8)
+        .with_submission_window(Duration::from_secs(4))
+        .with_crash_recover(ReplicaId::new(2), crash_at, recover_at);
+    let outcome = run_scenario(&scenario).expect("bench scenario must validate");
+    let recovered_at = outcome
+        .recoveries
+        .iter()
+        .find(|(r, _)| *r == ReplicaId::new(2))
+        .map(|(_, at)| *at)
+        .expect("replica 2 must recover");
+    let digests: Vec<Digest> = outcome.state_digests.iter().map(|(_, d)| *d).collect();
+    RecoveryRun {
+        replicas,
+        crash_at_ms: crash_at.as_micros() / 1_000,
+        recover_at_ms: recover_at.as_micros() / 1_000,
+        recovery_latency_ms: (recovered_at - recover_at).as_micros() as f64 / 1_000.0,
+        digests_converged: digests.windows(2).all(|w| w[0] == w[1]),
+        confirmed: outcome.confirmed,
+        submitted: outcome.submitted,
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("== checkpoint bench ({scale:?} scale) ==");
+
+    let on_scenario = retention_scenario(scale, true);
+    let off_scenario = retention_scenario(scale, false);
+    let replicas = on_scenario.config.num_replicas;
+    let transactions = on_scenario.workload.num_transactions;
+    println!("retention: {replicas} replicas, {transactions} txs, GC on …");
+    let gc_on = measure_retention(&on_scenario);
+    println!("retention: GC off …");
+    let gc_off = measure_retention(&off_scenario);
+
+    let identical = gc_on.digests == gc_off.digests
+        && gc_on.confirmed == gc_off.confirmed
+        && gc_on.events == gc_off.events;
+    // Bounded = the GC-on steady state is a plateau well below the GC-off
+    // history: the final retained window must be a fraction of what no-GC
+    // retains, and no bigger than its own observed peak (no late growth).
+    let bounded = gc_on.final_retained * 2 <= gc_off.final_retained.max(1)
+        && gc_on.final_retained <= gc_on.peak_retained;
+    println!(
+        "  GC on : final {:>6} entries (peak {:>6}, peak {:>9} bytes)",
+        gc_on.final_retained, gc_on.peak_retained, gc_on.peak_retained_bytes
+    );
+    println!(
+        "  GC off: final {:>6} entries (peak {:>6}, peak {:>9} bytes)",
+        gc_off.final_retained, gc_off.peak_retained, gc_off.peak_retained_bytes
+    );
+    println!("  identical traces: {identical}   bounded: {bounded}");
+
+    println!("recovery: crash-recover one replica …");
+    let recovery = measure_recovery(scale);
+    println!(
+        "  {} replicas: crash at {} ms, restart at {} ms, state transfer installed after {:.1} ms \
+         (digests converged: {}, {}/{} confirmed)",
+        recovery.replicas,
+        recovery.crash_at_ms,
+        recovery.recover_at_ms,
+        recovery.recovery_latency_ms,
+        recovery.digests_converged,
+        recovery.confirmed,
+        recovery.submitted,
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"checkpoint\",\n  \"scale\": \"{scale:?}\",\n  \"retention\": {{\n    \
+         \"replicas\": {replicas},\n    \"transactions\": {transactions},\n    \
+         \"gc_on\": {{\"final_retained_entries\": {}, \"peak_retained_entries\": {}, \
+         \"peak_retained_bytes\": {}, \"series\": {}}},\n    \
+         \"gc_off\": {{\"final_retained_entries\": {}, \"peak_retained_entries\": {}, \
+         \"peak_retained_bytes\": {}, \"series\": {}}},\n    \
+         \"identical_traces\": {identical},\n    \"bounded\": {bounded}\n  }},\n  \
+         \"recovery\": {{\"replicas\": {}, \"crash_at_ms\": {}, \"recover_at_ms\": {}, \
+         \"recovery_latency_ms\": {:.3}, \"digests_converged\": {}, \
+         \"confirmed\": {}, \"submitted\": {}}}\n}}\n",
+        gc_on.final_retained,
+        gc_on.peak_retained,
+        gc_on.peak_retained_bytes,
+        series_json(&gc_on.series),
+        gc_off.final_retained,
+        gc_off.peak_retained,
+        gc_off.peak_retained_bytes,
+        series_json(&gc_off.series),
+        recovery.replicas,
+        recovery.crash_at_ms,
+        recovery.recover_at_ms,
+        recovery.recovery_latency_ms,
+        recovery.digests_converged,
+        recovery.confirmed,
+        recovery.submitted,
+    );
+
+    // Cargo runs benches with the package directory as cwd; the snapshot
+    // belongs at the workspace root next to ROADMAP.md.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_checkpoint.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nsnapshot written to {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+    if !identical {
+        eprintln!("error: GC on/off traces diverged — truncation must be memory-only");
+        std::process::exit(1);
+    }
+    if !bounded {
+        eprintln!("error: retained entries did not plateau under checkpoint GC");
+        std::process::exit(1);
+    }
+    if !recovery.digests_converged {
+        eprintln!("error: recovered replica did not reconverge to the peer state digest");
+        std::process::exit(1);
+    }
+}

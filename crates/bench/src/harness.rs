@@ -129,6 +129,13 @@ pub struct MeasuredPoint {
     /// `shard_objects`). Under a skewed hot-account workload the spread of
     /// these counters *is* the shard imbalance.
     pub shard_ops: Vec<u64>,
+    /// Log entries (plog blocks + glog payloads + PBFT slots) replica 0
+    /// still retained at the end of the run. With checkpoint GC on this
+    /// plateaus at the in-flight window; with GC off it grows with the run —
+    /// bounded memory as a measured claim, not an assertion.
+    pub retained_plog_entries: u64,
+    /// Peak retained partial/global-log bytes over the run (replica 0).
+    pub peak_retained_bytes: u64,
 }
 
 /// Imbalance of the per-shard op counters (`MeasuredPoint::shard_ops`
@@ -205,6 +212,8 @@ impl MeasuredPoint {
             wall_clock_ms,
             shard_objects: outcome.shard_objects.clone(),
             shard_ops: outcome.shard_ops.clone(),
+            retained_plog_entries: outcome.retained_plog_entries,
+            peak_retained_bytes: outcome.peak_retained_bytes,
         }
     }
 
@@ -218,7 +227,8 @@ impl MeasuredPoint {
                 "\"confirmed\":{},\"submitted\":{},",
                 "\"bytes_sent\":{},\"events_processed\":{},",
                 "\"peak_queue_len\":{},\"wall_clock_ms\":{:.3},",
-                "\"shard_objects\":{},\"shard_ops\":{}}}"
+                "\"shard_objects\":{},\"shard_ops\":{},",
+                "\"retained_plog_entries\":{},\"peak_retained_bytes\":{}}}"
             ),
             escape_json(&self.protocol),
             self.x,
@@ -233,6 +243,8 @@ impl MeasuredPoint {
             self.wall_clock_ms,
             json_u64_array(&self.shard_objects),
             json_u64_array(&self.shard_ops),
+            self.retained_plog_entries,
+            self.peak_retained_bytes,
         )
     }
 }
@@ -518,6 +530,8 @@ mod tests {
             wall_clock_ms: 12.5,
             shard_objects: vec![10, 12, 3],
             shard_ops: vec![100, 90, 4],
+            retained_plog_entries: 17,
+            peak_retained_bytes: 4_096,
         };
         let doc = series_json("fig_test", "replicas", &[point.clone(), point]);
         // Structural sanity without a JSON parser: balanced braces/brackets,
@@ -537,6 +551,8 @@ mod tests {
             "\"wall_clock_ms\"",
             "\"shard_objects\":[10,12,3]",
             "\"shard_ops\":[100,90,4]",
+            "\"retained_plog_entries\":17",
+            "\"peak_retained_bytes\":4096",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }

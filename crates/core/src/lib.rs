@@ -36,9 +36,7 @@ pub mod runner;
 pub use client::ClientNode;
 pub use messages::{NetMessage, ReplyStatus};
 pub use partition::{Bucket, Partitioner};
-pub use replica::ReplicaNode;
-#[allow(deprecated)]
-pub use runner::run_scenario_or_panic;
+pub use replica::{CheckpointAnchor, ReplicaNode, StateTransfer};
 pub use runner::{
     build_simulation, parallel_for_mut, parallel_map, run_scenario, run_scenarios,
     run_scenarios_with_threads, sweep_threads, Scenario, ScenarioOutcome, StopCondition,

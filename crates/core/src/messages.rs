@@ -1,9 +1,11 @@
 //! Network messages exchanged between clients and replicas.
 
+use crate::replica::StateTransfer;
 use orthrus_execution::TxOutcome;
 use orthrus_sb::SbMessage;
 use orthrus_sim::Payload;
 use orthrus_types::{InstanceId, ReplicaId, SharedTx, TxId};
+use std::sync::Arc;
 
 /// Outcome reported back to the client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +53,24 @@ pub enum NetMessage {
         /// The replying replica.
         replica: ReplicaId,
     },
+    /// Recovering replica → peers: after a crash-recover restart, announce
+    /// the restart and (optionally) ask for a state transfer. Every
+    /// recipient re-relays the pending transactions of instances the sender
+    /// leads (cheap); only recipients with `want_state` build and ship the
+    /// expensive snapshot — the sync loop asks `f + 1` rotating peers per
+    /// round.
+    StateRequest {
+        /// The restarted replica asking for help.
+        replica: ReplicaId,
+        /// Should the recipient answer with a full state transfer?
+        want_state: bool,
+    },
+    /// Peer → recovering replica: a state transfer. `Arc`-shared so relaying
+    /// or re-delivering the (large) snapshot never copies it.
+    StateTransfer {
+        /// The transferred state (see [`StateTransfer`]).
+        state: Arc<StateTransfer>,
+    },
 }
 
 impl Payload for NetMessage {
@@ -59,6 +79,8 @@ impl Payload for NetMessage {
             NetMessage::ClientRequest { tx } => u64::from(tx.payload_bytes) + 64,
             NetMessage::Consensus { inner, .. } => inner.wire_bytes() + 16,
             NetMessage::ClientReply { .. } => 96,
+            NetMessage::StateRequest { .. } => 64,
+            NetMessage::StateTransfer { state } => state.wire_bytes(),
         }
     }
 }

@@ -256,10 +256,35 @@ impl Scenario {
     }
 
     /// Enable (or disable) sharded parallel partial-log execution
-    /// (`ProtocolConfig::parallel_execution`). Off by default; both settings
-    /// produce bit-identical traces (the differential tests pin this).
+    /// (`ProtocolConfig::parallel_execution`). On by default after one PR of
+    /// CI soak; both settings produce bit-identical traces (the differential
+    /// tests pin this), so opting out only changes wall-clock.
     pub fn with_parallel_execution(mut self, enabled: bool) -> Self {
         self.config.parallel_execution = enabled;
+        self
+    }
+
+    /// Enable (or disable) checkpoint-driven log truncation
+    /// (`ProtocolConfig::checkpoint_gc`). On by default; the off switch
+    /// exists for differential tests and the retained-memory bench, which
+    /// pin that truncation never changes reports or state digests.
+    pub fn with_checkpoint_gc(mut self, enabled: bool) -> Self {
+        self.config.checkpoint_gc = enabled;
+        self
+    }
+
+    /// Add a crash-recover fault: `replica` is silent during `[crash_at,
+    /// recover_at)`, then restarts and rejoins via state transfer.
+    pub fn with_crash_recover(
+        mut self,
+        replica: ReplicaId,
+        crash_at: SimTime,
+        recover_at: SimTime,
+    ) -> Self {
+        self.faults = self
+            .faults
+            .clone()
+            .with_crash_recover(replica, crash_at, recover_at);
         self
     }
 
@@ -359,6 +384,17 @@ pub struct ScenarioOutcome {
     /// Successful store mutations per executor state shard (replica 0; same
     /// layout as `shard_objects`).
     pub shard_ops: Vec<u64>,
+    /// Log entries (plog blocks + glog payloads + PBFT slots) replica 0
+    /// still retains at the end of the run. With checkpoint GC on this is
+    /// the in-flight window; with GC off it is the whole history.
+    pub retained_plog_entries: u64,
+    /// Peak of the retained-entry count over the run (replica 0).
+    pub peak_retained_entries: u64,
+    /// Peak retained partial/global-log bytes over the run (replica 0).
+    pub peak_retained_bytes: u64,
+    /// Every replica that completed crash recovery, with the virtual time
+    /// its first state transfer was installed.
+    pub recoveries: Vec<(ReplicaId, SimTime)>,
     /// Raw simulation report (events, messages, bytes).
     pub report: SimulationReport,
 }
@@ -470,9 +506,11 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
         // hold in-flight blocks. Drain in short slices until every
         // cooperative replica has executed the same prefix, so the
         // state-digest snapshot below reflects the safety invariant
-        // (Theorem 1) rather than a mid-flight race. Crashed and selfish
-        // replicas are excluded: they stop processing by design and would
-        // never catch up.
+        // (Theorem 1) rather than a mid-flight race. Permanently crashed and
+        // selfish replicas are excluded: they stop processing by design and
+        // would never catch up. Crash-*recover* replicas whose restart falls
+        // inside the time budget are NOT excluded — converging their digest
+        // (via state transfer) is exactly what this phase must wait for.
         let cooperative: Vec<ReplicaId> = (0..scenario.config.num_replicas)
             .map(ReplicaId::new)
             .filter(|r| {
@@ -524,6 +562,24 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
             (store.shard_object_counts(), store.shard_op_counts())
         })
         .unwrap_or_default();
+    let (retained_plog_entries, peak_retained_entries, peak_retained_bytes) = sim
+        .actor_as::<ReplicaNode>(NodeId::replica(0))
+        .map(|node| {
+            (
+                node.retained_log_entries(),
+                node.peak_retained_entries(),
+                node.peak_retained_bytes(),
+            )
+        })
+        .unwrap_or_default();
+    let recoveries: Vec<(ReplicaId, SimTime)> = (0..scenario.config.num_replicas)
+        .filter_map(|r| {
+            let id = ReplicaId::new(r);
+            sim.actor_as::<ReplicaNode>(NodeId::Replica(id))
+                .and_then(|node| node.recovered_at())
+                .map(|at| (id, at))
+        })
+        .collect();
 
     Ok(ScenarioOutcome {
         protocol: scenario.protocol,
@@ -541,6 +597,10 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
         state_digests,
         shard_objects,
         shard_ops,
+        retained_plog_entries,
+        peak_retained_entries,
+        peak_retained_bytes,
+        recoveries,
         report: orthrus_sim::SimulationReport {
             end_time: sim.now(),
             events_processed: last_report.events_processed,
@@ -549,20 +609,6 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
             peak_queue_len: last_report.peak_queue_len,
         },
     })
-}
-
-/// Deprecated panicking shim over [`run_scenario`], kept for one release so
-/// downstream code can migrate to the fallible driver at its own pace.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the fallible `run_scenario` (returns Result) and handle \
-            `OrthrusError::Config`; this shim panics on invalid scenarios"
-)]
-pub fn run_scenario_or_panic(scenario: &Scenario) -> ScenarioOutcome {
-    match run_scenario(scenario) {
-        Ok(outcome) => outcome,
-        Err(err) => panic!("invalid scenario: {err}"),
-    }
 }
 
 // ----------------------------------------------------------------------
@@ -948,13 +994,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn panicking_shim_still_runs_valid_scenarios() {
-        let outcome = run_scenario_or_panic(&tiny_scenario(ProtocolKind::Orthrus));
-        assert_eq!(outcome.confirmed, outcome.submitted);
-    }
-
-    #[test]
     fn parallel_map_preserves_input_order_and_covers_all_items() {
         let items: Vec<u64> = (0..37).collect();
         for threads in [1, 2, 5, 64] {
@@ -996,6 +1035,54 @@ mod tests {
             "error does not locate the scenario: {text}"
         );
         assert!(text.contains("num_clients"), "{text}");
+    }
+
+    #[test]
+    fn crashed_replica_recovers_via_state_transfer_and_reconverges() {
+        // Replica 2 crashes mid-submission and restarts two (virtual)
+        // seconds later; it must fetch a state transfer, rejoin, and end the
+        // run with the same state digest as everyone else.
+        let scenario = tiny_scenario(ProtocolKind::Orthrus).with_crash_recover(
+            ReplicaId::new(2),
+            SimTime::from_millis(100),
+            SimTime::from_millis(2_100),
+        );
+        let outcome = run(&scenario);
+        assert_eq!(outcome.confirmed, outcome.submitted);
+        assert_eq!(outcome.recoveries.len(), 1);
+        let (who, when) = outcome.recoveries[0];
+        assert_eq!(who, ReplicaId::new(2));
+        assert!(
+            when >= SimTime::from_millis(2_100),
+            "install precedes restart: {when}"
+        );
+        let digests: Vec<Digest> = outcome.state_digests.iter().map(|(_, d)| *d).collect();
+        assert_eq!(digests.len(), 4);
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "recovered replica diverged: {:?}",
+            outcome.state_digests
+        );
+    }
+
+    #[test]
+    fn checkpoint_gc_bounds_retained_entries_without_changing_results() {
+        let base = tiny_scenario(ProtocolKind::Orthrus).with_batch_size(8);
+        let gc_on = run(&base.clone().with_checkpoint_gc(true));
+        let gc_off = run(&base.with_checkpoint_gc(false));
+        // Truncation is memory-only: the traces are bit-identical.
+        assert_eq!(gc_on.state_digests, gc_off.state_digests);
+        assert_eq!(gc_on.report, gc_off.report);
+        assert_eq!(gc_on.avg_latency, gc_off.avg_latency);
+        // ... but the retained window differs.
+        assert!(
+            gc_on.retained_plog_entries < gc_off.retained_plog_entries,
+            "GC on retained {} vs off {}",
+            gc_on.retained_plog_entries,
+            gc_off.retained_plog_entries
+        );
+        assert!(gc_on.peak_retained_bytes <= gc_off.peak_retained_bytes);
+        assert!(gc_off.recoveries.is_empty());
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub enum TxOutcome {
 }
 
 /// The execution engine of one replica.
-#[derive(Debug, Default)]
+///
+/// `Clone` exists for checkpoint snapshots and crash-recovery state
+/// transfer: the sharded store's per-shard maps, the escrow log and the
+/// outcome bookkeeping all clone structurally, so a snapshot is a consistent
+/// copy of exactly what this replica has executed.
+#[derive(Debug, Default, Clone)]
 pub struct Executor {
     store: ObjectStore,
     elog: EscrowLog,

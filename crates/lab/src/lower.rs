@@ -99,6 +99,9 @@ fn params_to_scenario(params: &Params) -> Result<Scenario, SpecError> {
     if let Some(enabled) = params.parallel_execution {
         scenario.config.parallel_execution = enabled;
     }
+    if let Some(enabled) = params.checkpoint_gc {
+        scenario.config.checkpoint_gc = enabled;
+    }
     if let Some(queue) = params.queue {
         scenario.queue = queue;
     }
@@ -150,6 +153,15 @@ fn params_to_scenario(params: &Params) -> Result<Scenario, SpecError> {
             faults = faults.with_crash(ReplicaId::new(replica), SimTime::from_millis(at_ms));
         }
     }
+    if let Some(recoveries) = &params.crash_recover {
+        for &(replica, crash_ms, recover_ms) in recoveries {
+            faults = faults.with_crash_recover(
+                ReplicaId::new(replica),
+                SimTime::from_millis(crash_ms),
+                SimTime::from_millis(recover_ms),
+            );
+        }
+    }
     if let Some(selfish) = &params.selfish {
         for &replica in selfish {
             faults = faults.with_selfish(ReplicaId::new(replica));
@@ -188,6 +200,7 @@ fn x_from_params(key: AxisKey, params: &Params) -> Option<f64> {
         AxisKey::CrashCount => params.crash_count.map(f64::from),
         AxisKey::SelfishCount => params.selfish_count.map(f64::from),
         AxisKey::ZipfExponent => params.zipf_exponent,
+        AxisKey::MaxInflightBlocks => params.max_inflight_blocks.map(|d| d as f64),
     }
 }
 
@@ -243,6 +256,10 @@ fn apply_axis_value(
         (AxisKey::ZipfExponent, AxisValues::Floats(list)) => {
             params.zipf_exponent = Some(list[index]);
             Ok(Some(list[index]))
+        }
+        (AxisKey::MaxInflightBlocks, AxisValues::Ints(list)) => {
+            params.max_inflight_blocks = Some(list[index]);
+            Ok(Some(list[index] as f64))
         }
         (key, _) => Err(SpecError::general(format!(
             "axis {} carries values of the wrong type",
@@ -517,6 +534,63 @@ replicas = 4294967300\n";
         let spec = parse(doc).expect("parse");
         let err = spec.lower(SpecScale::Reduced).expect_err("must reject");
         assert!(err.to_string().contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn crash_recover_lowers_to_fault_plan_windows() {
+        let doc = "\
+kind = scenario\n\
+name = rec\n\
+\n\
+[scenario]\n\
+protocol = orthrus\n\
+network = lan\n\
+replicas = 4\n\
+transactions = 100\n\
+accounts = 32\n\
+checkpoint_gc = false\n\
+crash_recover = 2@300..1800\n";
+        let spec = parse(doc).expect("parse");
+        let points = spec.lower(SpecScale::Reduced).expect("lower");
+        assert_eq!(points.len(), 1);
+        let scenario = &points[0].scenario;
+        assert!(!scenario.config.checkpoint_gc);
+        assert_eq!(scenario.faults.crash_recoveries.len(), 1);
+        let spec_fault = scenario.faults.crash_recoveries[0];
+        assert_eq!(spec_fault.replica.value(), 2);
+        assert_eq!(spec_fault.crash_at, SimTime::from_millis(300));
+        assert_eq!(spec_fault.recover_at, SimTime::from_millis(1800));
+        assert!(scenario.validate().is_ok());
+        // An inverted window is caught by scenario validation through lint.
+        let bad = doc.replace("2@300..1800", "2@1800..300");
+        let err = parse(&bad).expect("parse").lint().expect_err("must fail");
+        assert!(err.to_string().contains("recover"), "{err}");
+    }
+
+    #[test]
+    fn max_inflight_axis_sweeps_the_pipelining_depth() {
+        let doc = "\
+kind = sweep\n\
+name = inflight\n\
+x_axis = max_inflight_blocks\n\
+\n\
+[base]\n\
+protocol = orthrus\n\
+network = lan\n\
+replicas = 4\n\
+transactions = 100\n\
+accounts = 32\n\
+\n\
+[axes]\n\
+max_inflight_blocks = 1, 4, 16\n";
+        let spec = parse(doc).expect("parse");
+        let points = spec.lower(SpecScale::Reduced).expect("lower");
+        let pairs: Vec<(f64, u64)> = points
+            .iter()
+            .map(|p| (p.x, p.scenario.config.max_inflight_blocks))
+            .collect();
+        assert_eq!(pairs, vec![(1.0, 1), (4.0, 4), (16.0, 16)]);
+        assert!(spec.lint().is_ok());
     }
 
     #[test]

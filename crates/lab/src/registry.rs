@@ -50,6 +50,9 @@ pub const ENTRIES: &[RegistryEntry] = &[
     entry!("ablation_global_ordering"),
     entry!("ablation_multi_payer"),
     entry!("ablation_hot_account"),
+    entry!("ablation_inflight"),
+    entry!("recovery_smoke"),
+    entry!("recovery_protocols"),
 ];
 
 /// Look up a registry entry by name.

@@ -165,6 +165,8 @@ pub struct Params {
     pub max_inflight_blocks: Option<u64>,
     /// `parallel_execution = true | false`
     pub parallel_execution: Option<bool>,
+    /// `checkpoint_gc = true | false`
+    pub checkpoint_gc: Option<bool>,
     /// `queue = heap | calendar`
     pub queue: Option<QueueKind>,
     /// `accounts = <u64>`
@@ -195,6 +197,10 @@ pub struct Params {
     pub stragglers: Option<Vec<(u32, f64)>>,
     /// `crashes = <replica>@<ms>, ...` (e.g. `1@9000`)
     pub crashes: Option<Vec<(u32, u64)>>,
+    /// `crash_recover = <replica>@<crash_ms>..<recover_ms>, ...`
+    /// (e.g. `2@9000..15000`): the replica is silent in the window and then
+    /// restarts, rejoining via state transfer.
+    pub crash_recover: Option<Vec<(u32, u64, u64)>>,
     /// `selfish = <replica>, ...`
     pub selfish: Option<Vec<u32>>,
     /// `crash_count = <u32>`: crash replicas `1..=count` at `crash_at_ms`
@@ -232,11 +238,15 @@ pub enum AxisKey {
     SelfishCount,
     /// Zipf exponent of account popularity.
     ZipfExponent,
+    /// Per-instance leader pipelining depth
+    /// (`ProtocolConfig::max_inflight_blocks`) — the adaptive-batching sweep
+    /// axis.
+    MaxInflightBlocks,
 }
 
 impl AxisKey {
     /// All axis keys (used by the parser and lint diagnostics).
-    pub const ALL: [AxisKey; 8] = [
+    pub const ALL: [AxisKey; 9] = [
         AxisKey::Protocol,
         AxisKey::Replicas,
         AxisKey::Seed,
@@ -245,6 +255,7 @@ impl AxisKey {
         AxisKey::CrashCount,
         AxisKey::SelfishCount,
         AxisKey::ZipfExponent,
+        AxisKey::MaxInflightBlocks,
     ];
 
     /// Stable spec-file name of the axis.
@@ -258,6 +269,7 @@ impl AxisKey {
             AxisKey::CrashCount => "crash_count",
             AxisKey::SelfishCount => "selfish_count",
             AxisKey::ZipfExponent => "zipf_exponent",
+            AxisKey::MaxInflightBlocks => "max_inflight_blocks",
         }
     }
 
@@ -442,6 +454,7 @@ impl Params {
                 put!(max_inflight_blocks, parse_num(value, line, "depth")?)
             }
             "parallel_execution" => put!(parallel_execution, parse_bool(value, line)?),
+            "checkpoint_gc" => put!(checkpoint_gc, parse_bool(value, line)?),
             "queue" => put!(queue, parse_queue(value, line)?),
             "accounts" => put!(accounts, parse_num(value, line, "account count")?),
             "transactions" => put!(transactions, parse_num(value, line, "transaction count")?),
@@ -504,6 +517,36 @@ impl Params {
                     })
                     .collect::<Result<_, SpecError>>()?;
                 put!(crashes, entries)
+            }
+            "crash_recover" => {
+                let entries: Vec<(u32, u64, u64)> = list_items(value)
+                    .map(|item| {
+                        let (replica, window) = item.split_once('@').ok_or_else(|| {
+                            SpecError::at(
+                                line,
+                                format!(
+                                    "crash_recover {item:?} is not \
+                                     <replica>@<crash_ms>..<recover_ms>"
+                                ),
+                            )
+                        })?;
+                        let (crash_ms, recover_ms) = window.split_once("..").ok_or_else(|| {
+                            SpecError::at(
+                                line,
+                                format!(
+                                    "crash_recover {item:?} is missing the \
+                                     <crash_ms>..<recover_ms> window"
+                                ),
+                            )
+                        })?;
+                        Ok((
+                            parse_num(replica.trim(), line, "replica id")?,
+                            parse_num(crash_ms.trim(), line, "crash time (ms)")?,
+                            parse_num(recover_ms.trim(), line, "recovery time (ms)")?,
+                        ))
+                    })
+                    .collect::<Result<_, SpecError>>()?;
+                put!(crash_recover, entries)
             }
             "selfish" => {
                 let entries: Vec<u32> = list_items(value)
@@ -798,6 +841,7 @@ fn write_params(out: &mut String, params: &Params) {
     kv!("view_change_timeout_ms", params.view_change_timeout_ms);
     kv!("max_inflight_blocks", params.max_inflight_blocks);
     kv!("parallel_execution", params.parallel_execution);
+    kv!("checkpoint_gc", params.checkpoint_gc);
     if let Some(q) = params.queue {
         let _ = writeln!(
             out,
@@ -836,6 +880,13 @@ fn write_params(out: &mut String, params: &Params) {
             .map(|(replica, at)| format!("{replica}@{at}"))
             .collect();
         let _ = writeln!(out, "crashes = {}", items.join(", "));
+    }
+    if let Some(recoveries) = &params.crash_recover {
+        let items: Vec<String> = recoveries
+            .iter()
+            .map(|(replica, crash_ms, recover_ms)| format!("{replica}@{crash_ms}..{recover_ms}"))
+            .collect();
+        let _ = writeln!(out, "crash_recover = {}", items.join(", "));
     }
     if let Some(selfish) = &params.selfish {
         let items: Vec<String> = selfish.iter().map(u32::to_string).collect();
@@ -966,6 +1017,60 @@ transactions = 200000\n";
     fn seed_ranges_expand() {
         let axis = parse_axis("seed", "3..=6", 1).expect("axis");
         assert_eq!(axis.values, AxisValues::Ints(vec![3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn crash_recover_stanza_parses_and_round_trips() {
+        let doc = "\
+kind = scenario\n\
+name = rec\n\
+\n\
+[scenario]\n\
+protocol = orthrus\n\
+network = lan\n\
+replicas = 4\n\
+checkpoint_gc = false\n\
+crash_recover = 2@300..1800, 3@9000..15000\n";
+        let spec = parse(doc).expect("parse");
+        let Spec::Scenario(scenario) = &spec else {
+            panic!("expected a scenario spec");
+        };
+        assert_eq!(
+            scenario.params.crash_recover,
+            Some(vec![(2, 300, 1800), (3, 9000, 15000)])
+        );
+        assert_eq!(scenario.params.checkpoint_gc, Some(false));
+        let reparsed = parse(&serialize(&spec)).expect("reparse");
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn malformed_crash_recover_stanzas_are_rejected_with_lines() {
+        for (value, needle) in [
+            ("2", "crash_recover"),
+            ("2@300", "window"),
+            ("2@300..x", "recovery time"),
+            ("x@300..400", "replica id"),
+        ] {
+            let doc = format!(
+                "kind = scenario\nname = rec\n\n[scenario]\nprotocol = orthrus\n\
+                 network = lan\nreplicas = 4\ncrash_recover = {value}\n"
+            );
+            let err = parse(&doc).expect_err(&doc);
+            assert_eq!(err.line, Some(8), "{value}");
+            assert!(err.to_string().contains(needle), "{value} -> {err}");
+        }
+    }
+
+    #[test]
+    fn max_inflight_blocks_is_a_sweepable_axis() {
+        let axis = parse_axis("max_inflight_blocks", "1, 4, 16", 1).expect("axis");
+        assert_eq!(axis.key, AxisKey::MaxInflightBlocks);
+        assert_eq!(axis.values, AxisValues::Ints(vec![1, 4, 16]));
+        assert_eq!(
+            AxisKey::from_name("max_inflight_blocks"),
+            Some(AxisKey::MaxInflightBlocks)
+        );
     }
 
     #[test]

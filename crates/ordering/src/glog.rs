@@ -4,18 +4,36 @@
 //! Blocks are appended by the global ordering policy (pre-determined, DQBFT
 //! or Ladon); the execution module consumes them in order through the cursor,
 //! executing contract transactions sequentially.
+//!
+//! # Retention
+//!
+//! The log distinguishes the *order* (every block id ever confirmed, in
+//! global order — a few words per entry, kept for agreement checks and
+//! duplicate suppression) from the *retained payloads* (the `Arc<Block>`
+//! handles). Executed payloads below the stable-checkpoint frontier are
+//! released by [`GlobalLog::truncate_before`], so a long run holds payload
+//! memory proportional to the in-flight window, not the full history.
 
-use orthrus_types::{BlockId, SharedBlock};
-use std::collections::HashSet;
+use orthrus_types::{BlockId, SharedBlock, SystemState};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 /// The global log.
 #[derive(Debug, Default, Clone)]
 pub struct GlobalLog {
-    blocks: Vec<SharedBlock>,
+    /// Retained block payloads; `blocks[0]` sits at global position `base`.
+    blocks: VecDeque<SharedBlock>,
+    /// Global position of the first retained payload (number of truncated
+    /// entries).
+    base: usize,
+    /// Every confirmed block id in global order (compact; never truncated).
+    order: Vec<BlockId>,
     ids: HashSet<BlockId>,
-    /// Index of the first entry not yet consumed by the execution module.
+    /// Global position of the first entry not yet consumed by the execution
+    /// module.
     cursor: usize,
+    /// Wire-size estimate of the retained payloads.
+    retained_bytes: u64,
 }
 
 impl GlobalLog {
@@ -29,18 +47,31 @@ impl GlobalLog {
     /// layer's abort path may try to re-append during recovery).
     pub fn append(&mut self, block: SharedBlock) {
         if self.ids.insert(block.id()) {
-            self.blocks.push(block);
+            self.order.push(block.id());
+            self.retained_bytes += block.wire_bytes();
+            self.blocks.push_back(block);
         }
     }
 
-    /// Number of blocks ever appended.
+    /// Number of blocks ever appended (truncated entries included).
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.order.len()
     }
 
     /// Is the log empty?
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.order.is_empty()
+    }
+
+    /// Number of block payloads currently retained (not yet released by
+    /// checkpoint truncation).
+    pub fn retained_len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Wire-size estimate of the retained payloads.
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_bytes
     }
 
     /// Has `id` been globally confirmed?
@@ -50,7 +81,7 @@ impl GlobalLog {
 
     /// The first appended-but-not-yet-executed block, if any.
     pub fn first_pending(&self) -> Option<&SharedBlock> {
-        self.blocks.get(self.cursor)
+        self.blocks.get(self.cursor - self.base)
     }
 
     /// Position of the execution cursor.
@@ -61,9 +92,34 @@ impl GlobalLog {
     /// Pop the next block for execution, advancing the cursor. Returns a
     /// clone of the shared handle (a reference-count bump).
     pub fn pop_pending(&mut self) -> Option<SharedBlock> {
-        let block = Arc::clone(self.blocks.get(self.cursor)?);
+        let block = Arc::clone(self.blocks.get(self.cursor - self.base)?);
         self.cursor += 1;
         Some(block)
+    }
+
+    /// Checkpoint-driven truncation: release executed payloads from the
+    /// front of the log whose `(instance, sn)` is covered by `stable`, the
+    /// per-instance stable-checkpoint frontier. Truncation is prefix-only —
+    /// the first unexecuted or uncovered entry stops it — so the retained
+    /// window stays contiguous and the cursor always points into it.
+    ///
+    /// The compact id order is never truncated: duplicate suppression and
+    /// cross-replica agreement checks keep working over the full history.
+    pub fn truncate_before(&mut self, stable: &SystemState) {
+        while self.base < self.cursor {
+            let Some(front) = self.blocks.front() else {
+                break;
+            };
+            let covered = stable
+                .get(front.header.instance)
+                .is_some_and(|sn| sn >= front.header.sn);
+            if !covered {
+                break;
+            }
+            self.retained_bytes -= front.wire_bytes();
+            self.blocks.pop_front();
+            self.base += 1;
+        }
     }
 
     /// The global position assigned to `id`, if confirmed.
@@ -71,17 +127,20 @@ impl GlobalLog {
         if !self.ids.contains(&id) {
             return None;
         }
-        self.blocks.iter().position(|b| b.id() == id)
+        self.order.iter().position(|b| *b == id)
     }
 
-    /// Iterate over the confirmed blocks in global order.
+    /// Iterate over the *retained* confirmed blocks in global order
+    /// (truncated payloads are gone; use [`GlobalLog::order`] for the full
+    /// history of ids).
     pub fn iter(&self) -> impl Iterator<Item = &SharedBlock> {
         self.blocks.iter()
     }
 
-    /// Block ids in global order (useful for cross-replica agreement checks).
+    /// Block ids in global order, truncated entries included (useful for
+    /// cross-replica agreement checks).
     pub fn order(&self) -> Vec<BlockId> {
-        self.blocks.iter().map(|b| b.id()).collect()
+        self.order.clone()
     }
 }
 
@@ -155,5 +214,55 @@ mod tests {
             glog.position_of(BlockId::new(InstanceId::new(9), SeqNum::new(9))),
             None
         );
+    }
+
+    #[test]
+    fn truncation_releases_executed_covered_payloads_only() {
+        let mut glog = GlobalLog::new();
+        glog.append(block(0, 0));
+        glog.append(block(1, 0));
+        glog.append(block(0, 1));
+        let full = glog.retained_bytes();
+
+        // Nothing executed yet: truncation is a no-op even with coverage.
+        let mut stable = SystemState::new(2);
+        stable.observe(InstanceId::new(0), SeqNum::new(5));
+        stable.observe(InstanceId::new(1), SeqNum::new(5));
+        glog.truncate_before(&stable);
+        assert_eq!(glog.retained_len(), 3);
+
+        // Execute two entries; only instance 0 is checkpoint-covered.
+        glog.pop_pending();
+        glog.pop_pending();
+        let mut partial = SystemState::new(2);
+        partial.observe(InstanceId::new(0), SeqNum::new(5));
+        glog.truncate_before(&partial);
+        // (0,0) released; (1,0) uncovered stops the prefix truncation.
+        assert_eq!(glog.retained_len(), 2);
+        assert!(glog.retained_bytes() < full);
+
+        // Full coverage releases the rest of the executed prefix, and the
+        // cursor keeps working over the truncated representation.
+        glog.truncate_before(&stable);
+        assert_eq!(glog.retained_len(), 1);
+        assert_eq!(
+            glog.first_pending().unwrap().id(),
+            BlockId::new(InstanceId::new(0), SeqNum::new(1))
+        );
+        assert_eq!(glog.pop_pending().unwrap().header.sn, SeqNum::new(1));
+        glog.truncate_before(&stable);
+        assert_eq!(glog.retained_len(), 0);
+        assert_eq!(glog.retained_bytes(), 0);
+
+        // History survives truncation: order, len and dedup are intact.
+        assert_eq!(glog.len(), 3);
+        assert_eq!(glog.order().len(), 3);
+        glog.append(block(0, 0)); // duplicate of a truncated entry
+        assert_eq!(glog.len(), 3);
+
+        // New appends land after the truncated prefix and execute normally.
+        glog.append(block(1, 1));
+        assert_eq!(glog.retained_len(), 1);
+        assert_eq!(glog.pop_pending().unwrap().header.sn, SeqNum::new(1));
     }
 }

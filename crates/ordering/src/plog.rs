@@ -15,6 +15,9 @@ pub struct PartialLog {
     blocks: BTreeMap<SeqNum, SharedBlock>,
     /// First sequence number not yet consumed by the execution module.
     cursor: SeqNum,
+    /// Wire-size estimate of every retained block, maintained on insert and
+    /// truncation so retained-memory accounting is O(1) to read.
+    retained_bytes: u64,
 }
 
 impl PartialLog {
@@ -28,7 +31,13 @@ impl PartialLog {
     /// copied. Re-inserting the same sequence number keeps the first handle
     /// (SB agreement guarantees the contents are identical).
     pub fn insert(&mut self, block: SharedBlock) {
-        self.blocks.entry(block.header.sn).or_insert(block);
+        let bytes = block.wire_bytes();
+        if let std::collections::btree_map::Entry::Vacant(entry) =
+            self.blocks.entry(block.header.sn)
+        {
+            entry.insert(block);
+            self.retained_bytes += bytes;
+        }
     }
 
     /// The block at `sn`, if delivered.
@@ -66,11 +75,28 @@ impl PartialLog {
         Some(block)
     }
 
-    /// Drop blocks with sequence numbers at or below `sn` that have already
-    /// been executed (garbage collection after a stable checkpoint).
-    pub fn garbage_collect(&mut self, sn: SeqNum) {
+    /// Checkpoint-driven truncation: drop blocks with sequence numbers at or
+    /// below `stable` that the execution module has already consumed. The
+    /// quorum certificate behind `stable` guarantees the prefix is durable at
+    /// `2f + 1` replicas, so the `Arc` handles can be released; anything the
+    /// cursor has not passed is retained regardless (it is still needed for
+    /// execution).
+    pub fn truncate_before(&mut self, stable: SeqNum) {
         let cursor = self.cursor;
-        self.blocks.retain(|k, _| *k > sn || *k >= cursor);
+        let mut freed = 0u64;
+        self.blocks.retain(|k, block| {
+            let keep = *k > stable || *k >= cursor;
+            if !keep {
+                freed += block.wire_bytes();
+            }
+            keep
+        });
+        self.retained_bytes -= freed;
+    }
+
+    /// Wire-size estimate of the retained blocks.
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_bytes
     }
 
     /// Iterate over all delivered blocks in sequence order.
@@ -117,6 +143,11 @@ impl PartialLogs {
     /// Total number of blocks across all instances.
     pub fn total_blocks(&self) -> usize {
         self.logs.values().map(PartialLog::len).sum()
+    }
+
+    /// Total wire-size estimate of retained blocks across all instances.
+    pub fn retained_bytes(&self) -> u64 {
+        self.logs.values().map(PartialLog::retained_bytes).sum()
     }
 
     /// Drain every block that is ready for execution: repeatedly sweep the
@@ -196,19 +227,39 @@ mod tests {
     }
 
     #[test]
-    fn garbage_collection_spares_unexecuted_blocks() {
+    fn truncation_spares_unexecuted_blocks() {
         let mut log = PartialLog::new();
         for sn in 0..4 {
             log.insert(block(0, sn));
         }
+        let full_bytes = log.retained_bytes();
+        assert!(full_bytes > 0);
         log.pop_pending();
         log.pop_pending();
-        // GC up to sn 3, but only executed blocks (0 and 1) may go.
-        log.garbage_collect(SeqNum::new(3));
+        // Truncate up to sn 3, but only executed blocks (0 and 1) may go.
+        log.truncate_before(SeqNum::new(3));
         assert!(log.get(SeqNum::new(0)).is_none());
         assert!(log.get(SeqNum::new(1)).is_none());
         assert!(log.get(SeqNum::new(2)).is_some());
         assert!(log.get(SeqNum::new(3)).is_some());
+        assert_eq!(log.retained_bytes(), full_bytes / 2);
+    }
+
+    #[test]
+    fn retained_bytes_track_inserts_and_duplicates() {
+        let mut log = PartialLog::new();
+        log.insert(block(0, 0));
+        let one = log.retained_bytes();
+        // A duplicate insert keeps the first handle and charges nothing.
+        log.insert(block(0, 0));
+        assert_eq!(log.retained_bytes(), one);
+        log.insert(block(0, 1));
+        assert_eq!(log.retained_bytes(), 2 * one);
+        log.pop_pending();
+        log.pop_pending();
+        log.truncate_before(SeqNum::new(1));
+        assert_eq!(log.retained_bytes(), 0);
+        assert!(log.is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! code run under the discrete-event simulation or any other transport.
 
 use crate::messages::SbMessage;
-use orthrus_types::{ReplicaId, SeqNum, SharedBlock, View};
+use orthrus_types::{ReplicaId, SharedBlock, StableCheckpoint, View};
 
 /// An instruction from an SB instance to its hosting replica.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,12 +41,14 @@ pub enum SbAction {
         /// Leader of the new view.
         leader: ReplicaId,
     },
-    /// The instance established a stable checkpoint covering all sequence
-    /// numbers up to and including `sn`; earlier protocol state has been
-    /// garbage-collected.
+    /// The instance established a stable checkpoint: the quorum certificate
+    /// covers all sequence numbers up to and including `checkpoint.seq`, and
+    /// the instance's own protocol state below the low-water mark has been
+    /// garbage-collected. The hosting replica uses the certificate to
+    /// truncate its partial/global logs and to anchor state snapshots.
     StableCheckpoint {
-        /// Highest sequence number covered.
-        sn: SeqNum,
+        /// The quorum-certified checkpoint.
+        checkpoint: StableCheckpoint,
     },
 }
 
@@ -93,8 +95,8 @@ impl ActionSink {
         self.actions.push(SbAction::ViewChanged { view, leader });
     }
 
-    pub(crate) fn stable_checkpoint(&mut self, sn: SeqNum) {
-        self.actions.push(SbAction::StableCheckpoint { sn });
+    pub(crate) fn stable_checkpoint(&mut self, checkpoint: StableCheckpoint) {
+        self.actions.push(SbAction::StableCheckpoint { checkpoint });
     }
 
     pub(crate) fn into_vec(self) -> Vec<SbAction> {
@@ -105,7 +107,7 @@ impl ActionSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orthrus_types::{Block, BlockParams, Epoch, InstanceId, Rank, SystemState};
+    use orthrus_types::{Block, BlockParams, Epoch, InstanceId, Rank, SeqNum, SystemState};
     use std::sync::Arc;
 
     fn block() -> SharedBlock {
@@ -122,20 +124,25 @@ mod tests {
 
     #[test]
     fn sink_collects_in_order() {
+        let checkpoint = StableCheckpoint {
+            instance: InstanceId::new(0),
+            seq: SeqNum::new(3),
+            state_digest: orthrus_types::Digest::EMPTY,
+            proof: orthrus_types::CheckpointProof {
+                voters: vec![ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2)],
+            },
+        };
         let mut sink = ActionSink::new();
         sink.broadcast(SbMessage::PrePrepare { block: block() });
         sink.deliver(block());
         sink.view_changed(View::new(1), ReplicaId::new(1));
-        sink.stable_checkpoint(SeqNum::new(3));
+        sink.stable_checkpoint(checkpoint.clone());
         let actions = sink.into_vec();
         assert_eq!(actions.len(), 4);
         assert!(actions[0].is_network());
         assert!(actions[1].as_delivery().is_some());
         assert!(!actions[2].is_network());
-        assert_eq!(
-            actions[3],
-            SbAction::StableCheckpoint { sn: SeqNum::new(3) }
-        );
+        assert_eq!(actions[3], SbAction::StableCheckpoint { checkpoint });
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::actions::SbAction;
 use crate::messages::SbMessage;
 use crate::pbft::{PbftConfig, PbftInstance};
-use orthrus_types::{InstanceId, ReplicaId, SharedBlock, SimTime};
+use orthrus_types::{InstanceId, ReplicaId, SharedBlock, SimTime, StableCheckpoint};
 use std::collections::{BTreeSet, VecDeque};
 
 /// A queued message: sender, explicit recipients, payload.
@@ -24,6 +24,7 @@ struct Envelope {
 pub struct LocalCluster {
     instances: Vec<PbftInstance>,
     delivered: Vec<Vec<SharedBlock>>,
+    checkpoints: Vec<Vec<StableCheckpoint>>,
     queue: VecDeque<Envelope>,
     silenced: BTreeSet<ReplicaId>,
     num_replicas: u32,
@@ -46,6 +47,7 @@ impl LocalCluster {
         Self {
             instances,
             delivered: (0..n).map(|_| Vec::new()).collect(),
+            checkpoints: (0..n).map(|_| Vec::new()).collect(),
             queue: VecDeque::new(),
             silenced: BTreeSet::new(),
             num_replicas: n,
@@ -60,6 +62,12 @@ impl LocalCluster {
     /// Blocks delivered by `replica`, in delivery order.
     pub fn delivered(&self, replica: ReplicaId) -> &[SharedBlock] {
         &self.delivered[replica.as_usize()]
+    }
+
+    /// Stable-checkpoint certificates `replica` produced, in order of
+    /// stabilisation.
+    pub fn stable_checkpoints(&self, replica: ReplicaId) -> &[StableCheckpoint] {
+        &self.checkpoints[replica.as_usize()]
     }
 
     /// Stop routing messages from (and to) `replica`: it behaves like a
@@ -138,7 +146,10 @@ impl LocalCluster {
                 SbAction::Deliver { block } => {
                     self.delivered[from.as_usize()].push(block);
                 }
-                SbAction::ViewChanged { .. } | SbAction::StableCheckpoint { .. } => {}
+                SbAction::StableCheckpoint { checkpoint } => {
+                    self.checkpoints[from.as_usize()].push(checkpoint);
+                }
+                SbAction::ViewChanged { .. } => {}
             }
         }
     }

@@ -22,7 +22,10 @@
 
 use crate::actions::{ActionSink, SbAction};
 use crate::messages::{PreparedProof, SbMessage};
-use orthrus_types::{Digest, InstanceId, ReplicaId, SeqNum, SharedBlock, SimTime, View};
+use orthrus_types::{
+    CheckpointProof, Digest, InstanceId, ReplicaId, SeqNum, SharedBlock, SimTime, StableCheckpoint,
+    View,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -78,7 +81,12 @@ impl Slot {
 }
 
 /// A PBFT sequenced-broadcast instance.
-#[derive(Debug)]
+///
+/// `Clone` exists for the state-transfer path: a recovering replica adopts a
+/// peer's observed protocol state wholesale (proposals and votes are
+/// observations of the same broadcast stream, so an honest peer's clone is a
+/// valid local state) and then [`PbftInstance::rebind`]s it to its own id.
+#[derive(Debug, Clone)]
 pub struct PbftInstance {
     cfg: PbftConfig,
     view: View,
@@ -89,7 +97,7 @@ pub struct PbftInstance {
     delivered_digest: Digest,
     delivered_count: u64,
     checkpoint_votes: BTreeMap<SeqNum, BTreeMap<ReplicaId, Digest>>,
-    stable_checkpoint: Option<SeqNum>,
+    stable_checkpoint: Option<StableCheckpoint>,
     view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<PreparedProof>>>,
     last_progress: SimTime,
 }
@@ -158,9 +166,30 @@ impl PbftInstance {
         self.delivered_count
     }
 
-    /// Latest stable checkpoint, if any.
+    /// Sequence number of the latest stable checkpoint, if any.
     pub fn stable_checkpoint(&self) -> Option<SeqNum> {
-        self.stable_checkpoint
+        self.stable_checkpoint.as_ref().map(|c| c.seq)
+    }
+
+    /// The latest stable-checkpoint certificate, if one has formed: the
+    /// quorum of matching votes is retained as a [`StableCheckpoint`] proof
+    /// instead of being counted and dropped.
+    pub fn latest_stable_checkpoint(&self) -> Option<&StableCheckpoint> {
+        self.stable_checkpoint.as_ref()
+    }
+
+    /// Number of per-sequence-number slots currently retained (delivered
+    /// slots above the low-water mark plus in-flight proposals). Feeds the
+    /// replica's retained-entry accounting.
+    pub fn retained_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Rebind the instance's host identity after adopting a peer's cloned
+    /// state during state transfer. Only the identity changes — the observed
+    /// proposals, votes and checkpoints carry over verbatim.
+    pub fn rebind(&mut self, me: ReplicaId) {
+        self.cfg.me = me;
     }
 
     /// Virtual time of the last delivery or view change, used by the hosting
@@ -480,22 +509,36 @@ impl PbftInstance {
         digest: Digest,
         sink: &mut ActionSink,
     ) {
-        if let Some(stable) = self.stable_checkpoint {
-            if sn <= stable {
+        if let Some(stable) = &self.stable_checkpoint {
+            if sn <= stable.seq {
                 return;
             }
         }
         let votes = self.checkpoint_votes.entry(sn).or_default();
         votes.insert(voter, digest);
-        let matching = votes.values().filter(|d| **d == digest).count();
-        if matching >= self.cfg.quorum() {
-            self.stable_checkpoint = Some(sn);
-            // Garbage-collect delivered slots covered by the checkpoint and
-            // stale checkpoint tallies.
+        let voters: Vec<ReplicaId> = votes
+            .iter()
+            .filter(|(_, d)| **d == digest)
+            .map(|(r, _)| *r)
+            .collect();
+        if voters.len() >= self.cfg.quorum() {
+            // The quorum of matching votes *is* the certificate: surface it
+            // instead of counting and dropping it, so the ordering and
+            // execution layers above can truncate on, snapshot at, and
+            // state-transfer from this checkpoint.
+            let checkpoint = StableCheckpoint {
+                instance: self.cfg.instance,
+                seq: sn,
+                state_digest: digest,
+                proof: CheckpointProof { voters },
+            };
+            self.stable_checkpoint = Some(checkpoint.clone());
+            // Garbage-collect below the low-water mark: delivered slots
+            // covered by the checkpoint and stale checkpoint tallies.
             self.slots
                 .retain(|slot_sn, slot| *slot_sn > sn || !slot.delivered);
             self.checkpoint_votes.retain(|vote_sn, _| *vote_sn > sn);
-            sink.stable_checkpoint(sn);
+            sink.stable_checkpoint(checkpoint);
         }
     }
 
@@ -657,6 +700,10 @@ impl PbftInstance {
         self.view = new_view;
         self.in_view_change = false;
         self.last_progress = now;
+        // Vote bookkeeping for views at or below the one now entered is below
+        // the low-water mark of the view-change protocol: stale votes are
+        // ignored on arrival, so retaining the tallies only leaks memory.
+        self.view_change_votes.retain(|view, _| *view > new_view);
         let me = self.cfg.me;
         let leader = self.cfg.leader_of(new_view);
 
@@ -835,6 +882,71 @@ mod tests {
             assert_eq!(inst.stable_checkpoint(), Some(SeqNum::new(3)));
             // Delivered slots up to the checkpoint were garbage collected.
             assert!(inst.slots.keys().all(|sn| sn.value() > 3));
+            assert!(inst.retained_slots() <= 1);
+        }
+    }
+
+    #[test]
+    fn stable_checkpoints_carry_quorum_certificates() {
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 2);
+        for sn in 0..4 {
+            cluster.propose(ReplicaId::new(0), make_block(0, sn, 0, 0, 1));
+        }
+        cluster.run();
+        for r in 0..4 {
+            let replica = ReplicaId::new(r);
+            let certs = cluster.stable_checkpoints(replica);
+            // Checkpoint interval 2 over 4 deliveries: sn 1 and sn 3.
+            let seqs: Vec<u64> = certs.iter().map(|c| c.seq.value()).collect();
+            assert_eq!(seqs, vec![1, 3], "replica {r}");
+            let quorum = cluster.instance(replica).config().quorum();
+            for cert in certs {
+                assert_eq!(cert.instance, InstanceId::new(0));
+                assert!(cert.verify(quorum), "replica {r}: thin proof {cert:?}");
+            }
+            // The latest certificate is retained on the instance and matches
+            // the delivered-prefix digest every honest replica computed.
+            let latest = cluster
+                .instance(replica)
+                .latest_stable_checkpoint()
+                .expect("checkpoint formed");
+            assert_eq!(latest.seq, SeqNum::new(3));
+            assert_eq!(
+                latest.state_digest,
+                cluster.instance(replica).delivery_digest()
+            );
+            assert_eq!(latest.low_water_mark(), SeqNum::new(4));
+        }
+    }
+
+    #[test]
+    fn cloned_instance_rebinds_to_a_new_host() {
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 4);
+        cluster.propose(ReplicaId::new(0), make_block(0, 0, 0, 0, 1));
+        cluster.run();
+        let peer = cluster.instance(ReplicaId::new(1));
+        let mut adopted = peer.clone();
+        adopted.rebind(ReplicaId::new(3));
+        assert_eq!(adopted.config().me, ReplicaId::new(3));
+        assert_eq!(adopted.delivered_count(), peer.delivered_count());
+        assert_eq!(adopted.delivery_digest(), peer.delivery_digest());
+        assert_eq!(adopted.last_delivered(), peer.last_delivered());
+    }
+
+    #[test]
+    fn view_change_vote_bookkeeping_is_pruned_on_entry() {
+        let mut cluster = LocalCluster::new(InstanceId::new(0), 4, 4);
+        for r in 1..4 {
+            cluster.timeout(ReplicaId::new(r));
+        }
+        cluster.run();
+        for r in 1..4 {
+            let inst = cluster.instance(ReplicaId::new(r));
+            assert!(!inst.in_view_change(), "replica {r}");
+            assert!(
+                inst.view_change_votes.keys().all(|v| *v > inst.view),
+                "replica {r} retains votes at or below its view"
+            );
         }
     }
 

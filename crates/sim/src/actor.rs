@@ -41,6 +41,13 @@ pub trait Actor<M>: Any {
     /// `tag` is the value passed to [`Context::set_timer`].
     fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, M>) {}
 
+    /// Called when the actor restarts after a crash-recover fault (the
+    /// `recover_at` instant of its `CrashRecoverSpec`). Everything delivered
+    /// during the crash window was dropped; a recovering protocol node
+    /// typically re-arms its timers and requests a state transfer from its
+    /// peers here. The default does nothing.
+    fn on_recover(&mut self, _ctx: &mut Context<'_, M>) {}
+
     /// Up-cast for post-simulation inspection (the engine exposes actors as
     /// trait objects; tests and harnesses use this to read final state).
     fn as_any(&self) -> &dyn Any;

@@ -65,6 +65,11 @@ enum EngineEvent<M> {
         id: TimerId,
         tag: u64,
     },
+    /// A crash-recover fault's restart instant: fire the actor's
+    /// `on_recover` hook.
+    Recover {
+        node: NodeId,
+    },
 }
 
 /// What a dispatched event asks of an actor.
@@ -72,6 +77,7 @@ enum Invocation<M> {
     Start,
     Message { from: NodeId, msg: M },
     Timer { tag: u64 },
+    Recover,
 }
 
 /// Summary of a completed (or budget-limited) simulation run.
@@ -164,7 +170,9 @@ impl<M: Payload + Clone + 'static> Simulation<M> {
     }
 
     /// Register an actor. Its `on_start` handler runs at the current virtual
-    /// time once the simulation is (next) run.
+    /// time once the simulation is (next) run. If the fault plan gives the
+    /// node a crash-recover window, its restart (`on_recover`) is scheduled
+    /// at the window's `recover_at`.
     pub fn add_actor(&mut self, id: NodeId, actor: Box<dyn Actor<M>>) {
         let mut hasher = orthrus_types::crypto::FnvHasher::default();
         id.hash(&mut hasher);
@@ -173,6 +181,12 @@ impl<M: Payload + Clone + 'static> Simulation<M> {
         self.actors.insert(id, actor);
         self.queue
             .schedule(self.now, EngineEvent::Start { node: id });
+        if let NodeId::Replica(replica) = id {
+            if let Some(recovery) = self.faults.recovery_of(replica) {
+                self.queue
+                    .schedule(recovery.recover_at, EngineEvent::Recover { node: id });
+            }
+        }
     }
 
     /// Current virtual time.
@@ -295,6 +309,7 @@ impl<M: Payload + Clone + 'static> Simulation<M> {
                 }
                 self.invoke(node, Invocation::Timer { tag });
             }
+            EngineEvent::Recover { node } => self.invoke(node, Invocation::Recover),
         }
     }
 
@@ -370,6 +385,7 @@ impl<M: Payload + Clone + 'static> Simulation<M> {
                 Invocation::Start => actor.on_start(&mut ctx),
                 Invocation::Message { from, msg } => actor.on_message(from, msg, &mut ctx),
                 Invocation::Timer { tag } => actor.on_timer(tag, &mut ctx),
+                Invocation::Recover => actor.on_recover(&mut ctx),
             }
         }
         self.actors.insert(node, actor);
@@ -659,6 +675,79 @@ mod tests {
         let b_state: &Bouncer = sim.actor_as(b).unwrap();
         // The crashed node never processed anything.
         assert!(b_state.arrivals.is_empty());
+    }
+
+    /// A node that records recovery firings and answers pings afterwards.
+    struct Phoenix {
+        arrivals: Vec<SimTime>,
+        recovered_at: Option<SimTime>,
+    }
+    impl Actor<Ping> for Phoenix {
+        fn on_message(&mut self, _f: NodeId, _m: Ping, ctx: &mut Context<'_, Ping>) {
+            self.arrivals.push(ctx.now());
+        }
+        fn on_recover(&mut self, ctx: &mut Context<'_, Ping>) {
+            self.recovered_at = Some(ctx.now());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Sends one ping at every timer tick so traffic spans the crash window.
+    struct Ticker {
+        peer: NodeId,
+        remaining: u32,
+    }
+    impl Actor<Ping> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(Duration::from_millis(100), 0);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Context<'_, Ping>) {
+            ctx.send(self.peer, Ping { hops: 0, bytes: 64 });
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.set_timer(Duration::from_millis(100), 0);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn crash_recover_node_goes_silent_then_resumes() {
+        let crash_at = SimTime::from_millis(250);
+        let recover_at = SimTime::from_millis(650);
+        let faults = FaultPlan::none().with_crash_recover(ReplicaId::new(1), crash_at, recover_at);
+        let mut sim: Simulation<Ping> = Simulation::with_faults(NetworkConfig::lan(), faults, 9);
+        let target = NodeId::replica(1);
+        sim.add_actor(
+            NodeId::replica(0),
+            Box::new(Ticker {
+                peer: target,
+                remaining: 10,
+            }),
+        );
+        sim.add_actor(
+            target,
+            Box::new(Phoenix {
+                arrivals: Vec::new(),
+                recovered_at: None,
+            }),
+        );
+        sim.run_to_completion();
+        let phoenix: &Phoenix = sim.actor_as(target).unwrap();
+        assert_eq!(phoenix.recovered_at, Some(recover_at));
+        // Pings sent at ~100/200 ms arrive; those landing in the crash window
+        // are dropped; ticks after recovery arrive again.
+        assert!(phoenix.arrivals.iter().any(|t| *t < crash_at));
+        assert!(phoenix
+            .arrivals
+            .iter()
+            .all(|t| *t < crash_at || *t >= recover_at));
+        assert!(phoenix.arrivals.iter().any(|t| *t >= recover_at));
     }
 
     #[test]

@@ -44,11 +44,29 @@ pub struct CrashSpec {
     pub at: SimTime,
 }
 
+/// A crash-recover fault: the replica is silent during `[crash_at,
+/// recover_at)` and restarts at `recover_at` with empty volatile state. The
+/// engine fires the actor's `on_recover` hook at the restart instant; a
+/// replica then rejoins by fetching a state transfer from its peers (the
+/// checkpoint subsystem's recovery path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRecoverSpec {
+    /// The replica that crashes and later restarts.
+    pub replica: ReplicaId,
+    /// Virtual time of the crash.
+    pub crash_at: SimTime,
+    /// Virtual time of the restart (exclusive end of the silent window).
+    pub recover_at: SimTime,
+}
+
 /// The complete fault plan for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
-    /// Replicas that crash (detectable faults).
+    /// Replicas that crash permanently (detectable faults).
     pub crashes: Vec<CrashSpec>,
+    /// Replicas that crash and later restart (crash-recovery with state
+    /// transfer).
+    pub crash_recoveries: Vec<CrashRecoverSpec>,
     /// Straggler replicas and their slowdown factors.
     pub stragglers: Vec<StragglerSpec>,
     /// Replicas flagged as "selfish" Byzantine nodes: they keep leading their
@@ -78,6 +96,22 @@ impl FaultPlan {
         self
     }
 
+    /// Add a crash-recover fault: `replica` is silent during `[crash_at,
+    /// recover_at)` and restarts afterwards.
+    pub fn with_crash_recover(
+        mut self,
+        replica: ReplicaId,
+        crash_at: SimTime,
+        recover_at: SimTime,
+    ) -> Self {
+        self.crash_recoveries.push(CrashRecoverSpec {
+            replica,
+            crash_at,
+            recover_at,
+        });
+        self
+    }
+
     /// Add a straggler.
     pub fn with_straggler(mut self, replica: ReplicaId, factor: f64) -> Self {
         self.stragglers.push(StragglerSpec { replica, factor });
@@ -90,11 +124,22 @@ impl FaultPlan {
         self
     }
 
-    /// Is `replica` crashed at time `now`?
+    /// Is `replica` crashed at time `now`? Permanent crashes hold from their
+    /// crash time onwards; crash-recover faults hold only inside their
+    /// `[crash_at, recover_at)` window.
     pub fn is_crashed(&self, replica: ReplicaId, now: SimTime) -> bool {
         self.crashes
             .iter()
             .any(|c| c.replica == replica && now >= c.at)
+            || self
+                .crash_recoveries
+                .iter()
+                .any(|c| c.replica == replica && now >= c.crash_at && now < c.recover_at)
+    }
+
+    /// The crash-recover spec of `replica`, if it has one.
+    pub fn recovery_of(&self, replica: ReplicaId) -> Option<&CrashRecoverSpec> {
+        self.crash_recoveries.iter().find(|c| c.replica == replica)
     }
 
     /// The slowdown factor of `replica` (1.0 if it is not a straggler).
@@ -129,6 +174,32 @@ impl FaultPlan {
         for crash in &self.crashes {
             check_replica(crash.replica, "crashed")?;
         }
+        let mut seen_recoveries: Vec<ReplicaId> = Vec::new();
+        for recovery in &self.crash_recoveries {
+            check_replica(recovery.replica, "crash-recovering")?;
+            if recovery.recover_at <= recovery.crash_at {
+                return Err(OrthrusError::Config(format!(
+                    "crash-recover fault for replica {} must recover strictly after it \
+                     crashes (crash at {}, recover at {})",
+                    recovery.replica, recovery.crash_at, recovery.recover_at
+                )));
+            }
+            if self.crashes.iter().any(|c| c.replica == recovery.replica) {
+                return Err(OrthrusError::Config(format!(
+                    "replica {} is named both as a permanent crash and a crash-recover \
+                     fault; pick one",
+                    recovery.replica
+                )));
+            }
+            if seen_recoveries.contains(&recovery.replica) {
+                return Err(OrthrusError::Config(format!(
+                    "replica {} has more than one crash-recover window; only one is \
+                     supported per run",
+                    recovery.replica
+                )));
+            }
+            seen_recoveries.push(recovery.replica);
+        }
         for straggler in &self.stragglers {
             check_replica(straggler.replica, "straggler")?;
             if !straggler.factor.is_finite() || straggler.factor <= 0.0 {
@@ -151,6 +222,12 @@ impl FaultPlan {
             .iter()
             .filter(|c| now >= c.at)
             .map(|c| c.replica)
+            .chain(
+                self.crash_recoveries
+                    .iter()
+                    .filter(|c| now >= c.crash_at && now < c.recover_at)
+                    .map(|c| c.replica),
+            )
             .chain(self.selfish.iter().copied())
             .collect();
         faulty.sort_unstable();
@@ -235,6 +312,56 @@ mod tests {
             let plan = FaultPlan::none().with_straggler(r(0), factor);
             assert!(plan.validate(4).is_err(), "factor {factor} accepted");
         }
+    }
+
+    #[test]
+    fn crash_recover_window_is_half_open() {
+        let plan = FaultPlan::none().with_crash_recover(
+            r(2),
+            SimTime::from_secs(5),
+            SimTime::from_secs(9),
+        );
+        assert!(!plan.is_crashed(r(2), SimTime::from_secs(4)));
+        assert!(plan.is_crashed(r(2), SimTime::from_secs(5)));
+        assert!(plan.is_crashed(r(2), SimTime::from_millis(8_999)));
+        assert!(!plan.is_crashed(r(2), SimTime::from_secs(9)));
+        assert!(!plan.is_crashed(r(2), SimTime::from_secs(100)));
+        assert_eq!(plan.faulty_count(SimTime::from_secs(6)), 1);
+        assert_eq!(plan.faulty_count(SimTime::from_secs(10)), 0);
+        assert_eq!(
+            plan.recovery_of(r(2)).unwrap().recover_at,
+            SimTime::from_secs(9)
+        );
+        assert!(plan.recovery_of(r(1)).is_none());
+        assert!(plan.validate(4).is_ok());
+    }
+
+    #[test]
+    fn crash_recover_validation_rejects_bad_windows() {
+        // Recovery must come after the crash.
+        let backwards = FaultPlan::none().with_crash_recover(
+            r(1),
+            SimTime::from_secs(9),
+            SimTime::from_secs(9),
+        );
+        assert!(backwards.validate(4).is_err());
+        // Out-of-range replica.
+        let ghost = FaultPlan::none().with_crash_recover(
+            r(7),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        assert!(ghost.validate(4).is_err());
+        // A replica cannot be both a permanent crash and a recovering one.
+        let both = FaultPlan::none()
+            .with_crash(r(1), SimTime::from_secs(1))
+            .with_crash_recover(r(1), SimTime::from_secs(2), SimTime::from_secs(3));
+        assert!(both.validate(4).is_err());
+        // One recovery window per replica.
+        let twice = FaultPlan::none()
+            .with_crash_recover(r(1), SimTime::from_secs(1), SimTime::from_secs(2))
+            .with_crash_recover(r(1), SimTime::from_secs(4), SimTime::from_secs(5));
+        assert!(twice.validate(4).is_err());
     }
 
     #[test]

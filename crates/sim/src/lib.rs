@@ -39,7 +39,7 @@ pub mod stats;
 pub use actor::{Actor, Context, TimerId};
 pub use engine::{Simulation, SimulationReport};
 pub use event::{EventQueue, QueueKind};
-pub use faults::{FaultPlan, StragglerSpec};
+pub use faults::{CrashRecoverSpec, FaultPlan, StragglerSpec};
 pub use network::{NetworkConfig, Region};
 pub use node::{NodeId, Payload};
 pub use stats::{LatencyStage, StatsCollector, ThroughputPoint};

@@ -1,0 +1,101 @@
+//! Stable checkpoints: quorum-certified low-water marks of an SB instance.
+//!
+//! The paper's garbage-collection story (§V, §V-D) hangs off *stable
+//! checkpoints*: every `checkpoint_interval` deliveries a replica broadcasts
+//! a checkpoint vote carrying the digest of its delivered prefix, and once
+//! `2f + 1` matching votes accumulate the checkpoint is **stable** — every
+//! quorum contains an honest replica that has durably delivered the prefix,
+//! so protocol state at or below the checkpoint can be discarded and a
+//! crashed replica can be brought back by state transfer instead of replay.
+//!
+//! [`StableCheckpoint`] is that certificate as a first-class value: the
+//! instance and sequence number it covers, the delivered-prefix digest the
+//! quorum agreed on, and the [`CheckpointProof`] naming the voters. The PBFT
+//! layer (`orthrus-sb`) produces one per stabilisation and the rest of the
+//! system — log truncation in `orthrus-ordering`, state snapshots and
+//! recovery in `orthrus-core` — consumes it.
+
+use crate::crypto::Digest;
+use crate::ids::{InstanceId, ReplicaId, SeqNum};
+
+/// The quorum certificate behind a stable checkpoint: the replicas whose
+/// matching votes made it stable.
+///
+/// The simulation does not carry real signatures (see [`crate::crypto`]),
+/// but the proof preserves the structure a deployment would verify: a set of
+/// distinct voters of quorum size, all vouching for the same digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointProof {
+    /// Distinct replicas whose votes matched the certified digest, in
+    /// ascending id order.
+    pub voters: Vec<ReplicaId>,
+}
+
+impl CheckpointProof {
+    /// Does the proof carry at least `quorum` distinct voters?
+    pub fn has_quorum(&self, quorum: usize) -> bool {
+        let mut voters = self.voters.clone();
+        voters.sort_unstable();
+        voters.dedup();
+        voters.len() >= quorum
+    }
+}
+
+/// A stable checkpoint of one SB instance: sequence numbers `0..=seq` are
+/// certified delivered with the given delivered-prefix digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StableCheckpoint {
+    /// The instance the checkpoint covers.
+    pub instance: InstanceId,
+    /// Highest sequence number covered (the low-water mark is `seq + 1`).
+    pub seq: SeqNum,
+    /// Rolling digest of the delivered prefix `0..=seq` the quorum agreed
+    /// on.
+    pub state_digest: Digest,
+    /// The quorum certificate.
+    pub proof: CheckpointProof,
+}
+
+impl StableCheckpoint {
+    /// First sequence number *not* covered by this checkpoint — the
+    /// instance's low-water mark after garbage collection.
+    pub fn low_water_mark(&self) -> SeqNum {
+        self.seq.next()
+    }
+
+    /// Does the certificate check out structurally for the given quorum
+    /// size?
+    pub fn verify(&self, quorum: usize) -> bool {
+        self.proof.has_quorum(quorum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert(voters: &[u32]) -> StableCheckpoint {
+        StableCheckpoint {
+            instance: InstanceId::new(0),
+            seq: SeqNum::new(7),
+            state_digest: Digest::of(&42u64),
+            proof: CheckpointProof {
+                voters: voters.iter().copied().map(ReplicaId::new).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn low_water_mark_is_one_past_the_covered_prefix() {
+        assert_eq!(cert(&[0, 1, 2]).low_water_mark(), SeqNum::new(8));
+    }
+
+    #[test]
+    fn verify_requires_a_distinct_quorum() {
+        assert!(cert(&[0, 1, 2]).verify(3));
+        assert!(!cert(&[0, 1]).verify(3));
+        // Duplicate voters do not count twice.
+        assert!(!cert(&[0, 1, 1]).verify(3));
+        assert!(cert(&[3, 1, 0, 2]).verify(3));
+    }
+}

@@ -124,10 +124,24 @@ pub struct ProtocolConfig {
     pub max_inflight_blocks: u64,
     /// Execute independent instances' partial logs on the replica's shard
     /// pool instead of the single-threaded reference path. Both paths are
-    /// bit-identical by construction (the differential tests pin this); the
-    /// serial path stays the baseline and the default so every existing
-    /// scenario keeps its exact trace unless a run opts in.
+    /// bit-identical by construction (the differential tests pin this under
+    /// `ORTHRUS_SWEEP_THREADS ∈ {1, 4}` in CI), so after one PR of soak the
+    /// sharded path is now the **default**; scenarios can still opt out per
+    /// run (`Scenario::with_parallel_execution(false)`).
     pub parallel_execution: bool,
+    /// Minimum number of transaction occurrences in a partial-log schedule
+    /// before the sharded path hands work to pool threads. Below the
+    /// threshold the same shard jobs run inline on the delivering thread —
+    /// identical results (the jobs are the unit of determinism), no thread
+    /// handoff latency for the small batches that dominate interactive
+    /// scenarios.
+    pub parallel_handoff_min_ops: usize,
+    /// Truncate partial/global logs and PBFT slot bookkeeping at stable
+    /// checkpoints. On by default — this is what bounds steady-state memory
+    /// on long runs; the off switch exists for the differential tests and
+    /// the `checkpoint` bench, which pin that truncation never changes
+    /// reports or state digests.
+    pub checkpoint_gc: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -144,7 +158,9 @@ impl Default for ProtocolConfig {
             processing_delay: Duration::from_micros(30),
             num_client_actors: 4,
             max_inflight_blocks: 4,
-            parallel_execution: false,
+            parallel_execution: true,
+            parallel_handoff_min_ops: 64,
+            checkpoint_gc: true,
         }
     }
 }
@@ -300,12 +316,15 @@ mod tests {
     }
 
     #[test]
-    fn parallel_execution_defaults_off_and_validates() {
+    fn parallel_execution_defaults_on_with_opt_out() {
         let c = ProtocolConfig::default();
-        assert!(!c.parallel_execution);
+        assert!(c.parallel_execution, "sharded path soaked; default is on");
+        assert!(c.checkpoint_gc, "checkpoint GC bounds memory by default");
+        assert!(c.parallel_handoff_min_ops > 0);
         let mut c = ProtocolConfig::for_replicas(8);
-        c.parallel_execution = true;
-        assert!(c.validate().is_ok());
+        c.parallel_execution = false;
+        c.checkpoint_gc = false;
+        assert!(c.validate().is_ok(), "both opt-outs stay valid");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   objects, incremental/decremental/assignment operations and conditions.
 //! * [`transaction`] — payment and contract transactions over objects.
 //! * [`block`] — blocks proposed by sequenced-broadcast instance leaders.
+//! * [`checkpoint`] — quorum-certified stable checkpoints, the low-water
+//!   marks behind log truncation and crash recovery.
 //! * [`state`] — the Multi-BFT system state `S = (sn_0, …, sn_{m-1})`.
 //! * [`config`] — protocol-level configuration shared by all protocols.
 //! * [`time`] — virtual time used by the discrete-event simulation.
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod checkpoint;
 pub mod config;
 pub mod crypto;
 pub mod error;
@@ -38,6 +41,7 @@ pub mod time;
 pub mod transaction;
 
 pub use block::{Block, BlockHeader, BlockId, BlockParams, SharedBlock};
+pub use checkpoint::{CheckpointProof, StableCheckpoint};
 pub use config::{NetworkKind, ProtocolConfig, ProtocolKind};
 pub use crypto::{Digest, KeyPair, PublicKey, Signature};
 pub use error::{OrthrusError, Result};

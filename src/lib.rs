@@ -102,10 +102,11 @@ pub mod prelude {
     };
     pub use orthrus_execution::{Executor, ObjectStore, TxOutcome};
     pub use orthrus_lab::{LoweredPoint, Spec, SpecScale};
-    pub use orthrus_sim::{FaultPlan, NetworkConfig, QueueKind, StatsCollector};
+    pub use orthrus_sim::{CrashRecoverSpec, FaultPlan, NetworkConfig, QueueKind, StatsCollector};
     pub use orthrus_types::{
         Amount, Block, ClientId, Duration, InstanceId, NetworkKind, ObjectKey, OrthrusError,
-        ProtocolConfig, ProtocolKind, ReplicaId, SimTime, Transaction, TxId, TxKind,
+        ProtocolConfig, ProtocolKind, ReplicaId, SimTime, StableCheckpoint, Transaction, TxId,
+        TxKind,
     };
     pub use orthrus_workload::{Workload, WorkloadConfig};
 }

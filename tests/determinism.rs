@@ -158,6 +158,92 @@ fn parallel_execution_matches_serial_for_every_protocol() {
     }
 }
 
+/// Crash-recovery determinism: for every protocol, a replica that crashes
+/// mid-run and rejoins via state transfer must (a) not stop the workload
+/// from completing, (b) reconverge to the exact state digest of its peers,
+/// and (c) leave the whole trace reproducible run over run. CI executes this
+/// under `ORTHRUS_SWEEP_THREADS ∈ {1, 4}`, which pins the recovery path
+/// across shard-pool widths too.
+#[test]
+fn crash_recovered_replica_reconverges_for_every_protocol() {
+    for protocol in ProtocolKind::ALL {
+        let make = || {
+            let mut s = scenario(23);
+            s.protocol = protocol;
+            s = s.with_crash_recover(
+                ReplicaId::new(2),
+                SimTime::from_millis(150),
+                SimTime::from_millis(2_000),
+            );
+            run(&s)
+        };
+        let first = make();
+        assert_eq!(
+            first.confirmed, first.submitted,
+            "{protocol} must complete despite the crash-recover fault"
+        );
+        assert_eq!(
+            first.recoveries.len(),
+            1,
+            "{protocol}: replica 2 must complete recovery"
+        );
+        assert_eq!(first.recoveries[0].0, ReplicaId::new(2));
+        assert!(first.recoveries[0].1 >= SimTime::from_millis(2_000));
+        let digests: Vec<u64> = first.state_digests.iter().map(|(_, d)| d.0).collect();
+        assert_eq!(digests.len(), 4);
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "{protocol}: recovered replica diverged: {:?}",
+            first.state_digests
+        );
+        let second = make();
+        assert_eq!(
+            fingerprint(&first),
+            fingerprint(&second),
+            "{protocol}: crash-recovery trace must be reproducible"
+        );
+        assert_eq!(first.recoveries, second.recoveries);
+    }
+}
+
+/// Differential test for checkpoint-driven truncation: turning GC off must
+/// not change a single bit of the trace — truncation is memory-only. The
+/// retained-entry accounting is what differs: GC keeps the in-flight window,
+/// no-GC keeps the whole history.
+#[test]
+fn checkpoint_truncation_is_memory_only_for_every_protocol() {
+    for protocol in ProtocolKind::ALL {
+        let run_with = |gc: bool| {
+            let mut s = scenario(29);
+            s.protocol = protocol;
+            s.config.checkpoint_gc = gc;
+            run(&s)
+        };
+        let gc_on = run_with(true);
+        let gc_off = run_with(false);
+        assert_eq!(
+            fingerprint(&gc_on),
+            fingerprint(&gc_off),
+            "{protocol} diverged across GC settings"
+        );
+        assert_eq!(
+            gc_on.avg_latency, gc_off.avg_latency,
+            "{protocol} latency trace diverged"
+        );
+        assert_eq!(
+            gc_on.report, gc_off.report,
+            "{protocol} simulation report diverged"
+        );
+        assert!(
+            gc_on.retained_plog_entries <= gc_off.retained_plog_entries,
+            "{protocol}: GC on retains {} vs {} without",
+            gc_on.retained_plog_entries,
+            gc_off.retained_plog_entries
+        );
+        assert_eq!(gc_on.confirmed, gc_on.submitted, "{protocol} must complete");
+    }
+}
+
 #[test]
 fn determinism_holds_for_every_protocol() {
     for protocol in ProtocolKind::ALL {
