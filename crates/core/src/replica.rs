@@ -18,8 +18,8 @@ use orthrus_ordering::{
 use orthrus_sb::{PbftConfig, PbftInstance, ProgressTracker, SbAction};
 use orthrus_sim::{Actor, Context, LatencyStage, NodeId};
 use orthrus_types::{
-    Block, BlockParams, Digest, Duration, Epoch, InstanceId, ProtocolConfig, ProtocolKind,
-    ReplicaId, SharedBlock, SharedTx, SimTime, StableCheckpoint, SystemState, TxId,
+    Block, BlockParams, Digest, Duration, Epoch, ExecutionMode, InstanceId, ProtocolConfig,
+    ProtocolKind, ReplicaId, SharedBlock, SharedTx, SimTime, StableCheckpoint, SystemState, TxId,
 };
 use std::any::Any;
 use std::collections::HashSet;
@@ -606,11 +606,20 @@ impl ReplicaNode {
     /// below produce the same confirmation trace:
     ///
     /// * the single-threaded reference path calls
-    ///   [`Executor::process_plog_tx`] per transaction, and
-    /// * the sharded path (`ProtocolConfig::parallel_execution`) hands the
+    ///   [`Executor::process_plog_tx`] per transaction,
+    /// * the sharded path (`ExecutionMode::ShardedDemotion`) hands the
     ///   batch to [`Executor::process_plog_schedule`], which executes
     ///   independent instances' shard-local payments on the
-    ///   [`parallel_for_mut`] pool and merges outcomes deterministically.
+    ///   [`parallel_for_mut`] pool and merges outcomes deterministically, and
+    /// * the optimistic path (`ExecutionMode::OptimisticStm`) hands it to
+    ///   [`Executor::process_plog_schedule_stm`], which speculates every
+    ///   occurrence, validates in schedule order, and folds validated
+    ///   write-sets into the shards via the incremental accumulators.
+    ///
+    /// Both parallel modes route straight through the serial reference walk
+    /// when the effective pool width is 1 or the batch is below
+    /// `parallel_handoff_min_ops` — at width 1 the scheduler machinery is
+    /// pure overhead over the identical serial result.
     fn process_partial_logs(&mut self, ctx: &mut Context<'_, NetMessage>) {
         let schedule = self.plogs.drain_ready(&mut self.executed_state);
         if schedule.is_empty() || self.protocol != ProtocolKind::Orthrus {
@@ -619,33 +628,45 @@ impl ReplicaNode {
         // Fast path: escrow + commit payments straight from the partial logs
         // (Algorithm 1 lines 20–30).
         let assign = self.partitioner;
-        let confirmations: Vec<(TxId, Option<TxOutcome>)> = if self.config.parallel_execution {
-            // Below the handoff threshold the same shard jobs run inline on
-            // the delivering thread: the jobs are the unit of determinism,
-            // so results are identical and small batches skip the pool's
-            // thread handoff entirely.
-            let ops: usize = schedule.iter().map(|(_, block)| block.txs.len()).sum();
-            let threads = if ops < self.config.parallel_handoff_min_ops {
-                1
-            } else {
-                self.pool_threads
-            };
-            self.executor
-                .process_plog_schedule(&schedule, &|key| assign.assign(key), |jobs| {
-                    crate::runner::parallel_for_mut(jobs, threads, |job| job.run());
-                })
+        // Below the handoff threshold (or on a width-1 pool) the serial
+        // reference walk is strictly faster and bit-identical, so every mode
+        // collapses to it.
+        let ops: usize = schedule.iter().map(|(_, block)| block.txs.len()).sum();
+        let threads = if ops < self.config.parallel_handoff_min_ops {
+            1
         } else {
-            let mut outcomes = Vec::new();
-            for (instance, block) in &schedule {
-                for tx in &block.txs {
-                    outcomes.push((
-                        tx.id,
-                        self.executor
-                            .process_plog_tx(tx, *instance, &|key| assign.assign(key)),
-                    ));
-                }
+            self.pool_threads
+        };
+        let mode = if threads <= 1 {
+            ExecutionMode::Serial
+        } else {
+            self.config.execution_mode
+        };
+        let confirmations: Vec<(TxId, Option<TxOutcome>)> = match mode {
+            ExecutionMode::ShardedDemotion => {
+                self.executor
+                    .process_plog_schedule(&schedule, &|key| assign.assign(key), |jobs| {
+                        crate::runner::parallel_for_mut(jobs, threads, |job| job.run());
+                    })
             }
-            outcomes
+            ExecutionMode::OptimisticStm => self.executor.process_plog_schedule_stm(
+                &schedule,
+                &|key| assign.assign(key),
+                threads,
+            ),
+            ExecutionMode::Serial => {
+                let mut outcomes = Vec::new();
+                for (instance, block) in &schedule {
+                    for tx in &block.txs {
+                        outcomes.push((
+                            tx.id,
+                            self.executor
+                                .process_plog_tx(tx, *instance, &|key| assign.assign(key)),
+                        ));
+                    }
+                }
+                outcomes
+            }
         };
         for (tx, outcome) in confirmations {
             if let Some(outcome) = outcome {

@@ -29,8 +29,8 @@ use orthrus_sim::{
     FaultPlan, NetworkConfig, NodeId, QueueKind, Simulation, SimulationReport, ThroughputPoint,
 };
 use orthrus_types::{
-    Digest, Duration, NetworkKind, OrthrusError, ProtocolConfig, ProtocolKind, ReplicaId, Result,
-    SharedTx, SimTime,
+    Digest, Duration, ExecutionMode, NetworkKind, OrthrusError, ProtocolConfig, ProtocolKind,
+    ReplicaId, Result, SharedTx, SimTime,
 };
 use orthrus_workload::{Workload, WorkloadConfig};
 use std::sync::Arc;
@@ -255,12 +255,24 @@ impl Scenario {
         self
     }
 
-    /// Enable (or disable) sharded parallel partial-log execution
-    /// (`ProtocolConfig::parallel_execution`). On by default after one PR of
-    /// CI soak; both settings produce bit-identical traces (the differential
-    /// tests pin this), so opting out only changes wall-clock.
-    pub fn with_parallel_execution(mut self, enabled: bool) -> Self {
-        self.config.parallel_execution = enabled;
+    /// Enable (or disable) parallel partial-log execution — the boolean
+    /// shorthand for [`Scenario::with_execution_mode`]: `true` selects the
+    /// soaked sharded default, `false` the serial reference walk. Every mode
+    /// produces bit-identical traces (the differential tests pin this), so
+    /// the choice only changes wall-clock.
+    pub fn with_parallel_execution(self, enabled: bool) -> Self {
+        self.with_execution_mode(if enabled {
+            ExecutionMode::ShardedDemotion
+        } else {
+            ExecutionMode::Serial
+        })
+    }
+
+    /// Select how partial logs execute (`ProtocolConfig::execution_mode`):
+    /// the serial reference walk, the sharded demotion scheduler, or
+    /// Block-STM optimistic execution.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.config.execution_mode = mode;
         self
     }
 
@@ -630,82 +642,12 @@ pub fn sweep_threads() -> usize {
     }
 }
 
-/// Apply `f` to every item on a zero-dependency scoped thread pool of up to
-/// `threads` workers, returning results in input order.
-///
-/// Workers claim items through a shared atomic cursor, so uneven item costs
-/// balance automatically. Because each scenario run is deterministic and
-/// self-contained, the output is identical for every thread count.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<R>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(&items[i]);
-                *slots[i].lock().expect("no panics while holding the lock") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no panics while holding the lock")
-                .expect("every claimed slot was filled")
-        })
-        .collect()
-}
-
-/// Apply `f` to every item of a mutable slice on the same zero-dependency
-/// scoped pool as [`parallel_map`], for work that needs exclusive access to
-/// each item (e.g. the executor's per-shard plog jobs, which carry `&mut`
-/// state shards). Workers claim items through a shared cursor; each item is
-/// visited exactly once, so the per-item mutation is identical for every
-/// thread count — parallelism changes wall-clock, never results.
-pub fn parallel_for_mut<T, F>(items: &mut [T], threads: usize, f: F)
-where
-    T: Send,
-    F: Fn(&mut T) + Sync,
-{
-    let threads = threads.max(1).min(items.len());
-    if threads <= 1 {
-        for item in items {
-            f(item);
-        }
-        return;
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut T>> =
-        items.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
-                }
-                // Claimed indices are unique, so the lock is uncontended; it
-                // exists to hand the `&mut` across the thread boundary safely.
-                f(&mut slots[i].lock().expect("no panics while holding the lock"));
-            });
-        }
-    });
-}
+/// The shared scoped thread pool: re-exported from `orthrus_types::pool`
+/// so the sweep driver and the executor's shard/STM workers use one
+/// implementation. Workers claim items through a shared atomic cursor, so
+/// uneven item costs balance automatically; each item is visited exactly
+/// once, making results identical for every thread count.
+pub use orthrus_types::pool::{parallel_for_mut, parallel_map};
 
 /// Run independent scenarios in parallel (one deterministic seeded
 /// [`Simulation`] per worker), with results in input order. Thread count

@@ -26,8 +26,9 @@
 //! the payment fast path keeps committing.
 
 use crate::store::ObjectStore;
-use orthrus_types::{Amount, ObjectKey, ObjectOp, Operation, Transaction, TxId};
+use orthrus_types::{Amount, FxHashMap, ObjectKey, ObjectOp, Operation, Transaction, TxId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One shard of the escrow log: the outstanding reservations whose account
 /// keys route to this shard, plus a running total.
@@ -35,6 +36,12 @@ use std::collections::BTreeMap;
 pub struct EscrowShard {
     entries: BTreeMap<(ObjectKey, TxId), Amount>,
     reserved: u128,
+    /// Reservation count per transaction id, maintained incrementally so
+    /// membership probes for ids holding nothing — the dominant case on the
+    /// payment fast path, where fresh transactions probe their own id
+    /// against a log full of pending contracts — answer with one hash
+    /// lookup instead of a tree descent.
+    tx_counts: FxHashMap<TxId, u32>,
 }
 
 impl EscrowShard {
@@ -50,7 +57,7 @@ impl EscrowShard {
 
     /// Is `(object, tx)` reserved in this shard?
     pub fn contains(&self, object: ObjectKey, tx: TxId) -> bool {
-        self.entries.contains_key(&(object, tx))
+        self.tx_counts.contains_key(&tx) && self.entries.contains_key(&(object, tx))
     }
 
     /// Record a reservation. Overwriting an existing `(object, tx)` entry
@@ -58,6 +65,8 @@ impl EscrowShard {
     pub fn insert(&mut self, object: ObjectKey, tx: TxId, amount: Amount) {
         if let Some(old) = self.entries.insert((object, tx), amount) {
             self.reserved -= u128::from(old);
+        } else {
+            *self.tx_counts.entry(tx).or_insert(0) += 1;
         }
         self.reserved += u128::from(amount);
     }
@@ -66,12 +75,26 @@ impl EscrowShard {
     pub fn remove(&mut self, object: ObjectKey, tx: TxId) -> Option<Amount> {
         let amount = self.entries.remove(&(object, tx))?;
         self.reserved -= u128::from(amount);
+        match self.tx_counts.get_mut(&tx) {
+            Some(count) if *count > 1 => *count -= 1,
+            _ => {
+                self.tx_counts.remove(&tx);
+            }
+        }
         Some(amount)
     }
 
     /// Total amount reserved in this shard.
     pub fn total_reserved(&self) -> u128 {
         self.reserved
+    }
+
+    /// Amount reserved under `(object, tx)`, if that reservation exists.
+    pub fn amount_of(&self, object: ObjectKey, tx: TxId) -> Option<Amount> {
+        if !self.tx_counts.contains_key(&tx) {
+            return None;
+        }
+        self.entries.get(&(object, tx)).copied()
     }
 
     /// Total amount reserved against one account in this shard.
@@ -85,9 +108,12 @@ impl EscrowShard {
 }
 
 /// The escrow log (`elog`): outstanding reservations, sharded by account.
+///
+/// Like the object store, shards sit behind [`Arc`]s with copy-on-write
+/// mutation so snapshot clones cost O(shards).
 #[derive(Debug, Clone)]
 pub struct EscrowLog {
-    shards: Vec<EscrowShard>,
+    shards: Vec<Arc<EscrowShard>>,
 }
 
 impl Default for EscrowLog {
@@ -106,7 +132,9 @@ impl EscrowLog {
     /// store's account-shard count by the executor).
     pub fn with_shards(shards: u32) -> Self {
         Self {
-            shards: (0..shards.max(1)).map(|_| EscrowShard::default()).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| Arc::new(EscrowShard::default()))
+                .collect(),
         }
     }
 
@@ -120,21 +148,27 @@ impl EscrowLog {
         key.shard(self.shards.len() as u32) as usize
     }
 
-    /// Mutable access to the shard slice, for the executor's parallel plog
-    /// workers (shard `i` of the log pairs with account shard `i` of the
-    /// store).
-    pub fn shards_mut(&mut self) -> &mut [EscrowShard] {
-        &mut self.shards
+    /// Read access to one shard (shard `i` of the log pairs with account
+    /// shard `i` of the store).
+    pub fn shard(&self, shard: usize) -> &EscrowShard {
+        &self.shards[shard]
+    }
+
+    /// Mutable access to every shard, for the executor's parallel plog
+    /// workers. Unshares shards still referenced by snapshots
+    /// (copy-on-write).
+    pub fn shards_mut(&mut self) -> Vec<&mut EscrowShard> {
+        self.shards.iter_mut().map(Arc::make_mut).collect()
     }
 
     /// Number of outstanding reservations.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(EscrowShard::len).sum()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// Is the log empty?
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(EscrowShard::is_empty)
+        self.shards.iter().all(|s| s.is_empty())
     }
 
     /// Is `(object, tx)` currently escrowed?
@@ -145,12 +179,17 @@ impl EscrowLog {
     /// Total amount currently reserved across all transactions (used by
     /// supply-conservation checks). O(shards): folds the running totals.
     pub fn total_reserved(&self) -> u128 {
-        self.shards.iter().map(EscrowShard::total_reserved).sum()
+        self.shards.iter().map(|s| s.total_reserved()).sum()
     }
 
     /// Total amount currently reserved against a specific account.
     pub fn reserved_for(&self, object: ObjectKey) -> Amount {
         self.shards[self.route(object)].reserved_for(object)
+    }
+
+    /// Amount reserved under `(object, tx)`, if that reservation exists.
+    pub fn amount_of(&self, object: ObjectKey, tx: TxId) -> Option<Amount> {
+        self.shards[self.route(object)].amount_of(object, tx)
     }
 
     /// Attempt to escrow the owned-decrement leg `leg` of transaction `tx`
@@ -177,7 +216,7 @@ impl EscrowLog {
             return false;
         }
         let shard = self.route(leg.key);
-        self.shards[shard].insert(leg.key, tx, amount);
+        Arc::make_mut(&mut self.shards[shard]).insert(leg.key, tx, amount);
         true
     }
 
@@ -197,7 +236,9 @@ impl EscrowLog {
     pub fn commit(&mut self, tx: &Transaction) {
         for leg in tx.ops.iter().filter(|leg| leg.is_owned_decrement()) {
             let shard = self.route(leg.key);
-            self.shards[shard].remove(leg.key, tx.id);
+            if self.shards[shard].contains(leg.key, tx.id) {
+                Arc::make_mut(&mut self.shards[shard]).remove(leg.key, tx.id);
+            }
         }
     }
 
@@ -205,7 +246,10 @@ impl EscrowLog {
     pub fn abort(&mut self, store: &mut ObjectStore, tx: &Transaction) {
         for leg in tx.ops.iter().filter(|leg| leg.is_owned_decrement()) {
             let shard = self.route(leg.key);
-            if let Some(amount) = self.shards[shard].remove(leg.key, tx.id) {
+            if !self.shards[shard].contains(leg.key, tx.id) {
+                continue;
+            }
+            if let Some(amount) = Arc::make_mut(&mut self.shards[shard]).remove(leg.key, tx.id) {
                 // Refunding cannot fail: the account existed when the escrow
                 // was taken and credits never fail on owned objects.
                 let _ = store.credit(leg.key, amount);
@@ -319,7 +363,8 @@ mod tests {
     #[test]
     fn shard_insert_overwrite_replaces_reserved_total() {
         let mut log = EscrowLog::with_shards(2);
-        let shard = &mut log.shards_mut()[0];
+        let mut shards = log.shards_mut();
+        let shard = &mut *shards[0];
         shard.insert(key(1), txid(0), 5);
         shard.insert(key(1), txid(0), 10);
         assert_eq!(shard.total_reserved(), 10);

@@ -17,6 +17,7 @@
 
 use crate::escrow::{EscrowLog, EscrowShard};
 use crate::store::{ObjectStore, StoreShard};
+use orthrus_types::FxHashMap;
 use orthrus_types::{InstanceId, ObjectKey, Operation, SharedBlock, SharedTx, Transaction, TxId};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -36,18 +37,21 @@ pub enum TxOutcome {
 /// The execution engine of one replica.
 ///
 /// `Clone` exists for checkpoint snapshots and crash-recovery state
-/// transfer: the sharded store's per-shard maps, the escrow log and the
-/// outcome bookkeeping all clone structurally, so a snapshot is a consistent
-/// copy of exactly what this replica has executed.
+/// transfer, and is O(shards): the store and escrow shards plus the outcome
+/// maps all sit behind [`Arc`]s with copy-on-write mutation, so a snapshot
+/// is a consistent copy of exactly what this replica has executed, taken by
+/// bumping reference counts — the live executor only duplicates a shard or
+/// map when it next writes to one while a snapshot still holds the other
+/// reference.
 #[derive(Debug, Default, Clone)]
 pub struct Executor {
     store: ObjectStore,
     elog: EscrowLog,
-    outcomes: HashMap<TxId, TxOutcome>,
+    outcomes: Arc<FxHashMap<TxId, TxOutcome>>,
     /// Number of glog occurrences of a transaction seen so far (a
     /// transaction assigned to k instances appears k times in the glog and is
     /// executed only at its last occurrence).
-    glog_occurrences: HashMap<TxId, usize>,
+    glog_occurrences: Arc<HashMap<TxId, usize>>,
     committed_count: u64,
     aborted_count: u64,
 }
@@ -117,8 +121,11 @@ impl Executor {
             .all(|(key, amount)| u128::from(self.store.balance(key)) >= amount)
     }
 
-    fn record(&mut self, tx: TxId, outcome: TxOutcome) -> TxOutcome {
-        if self.outcomes.insert(tx, outcome).is_none() {
+    pub(crate) fn record(&mut self, tx: TxId, outcome: TxOutcome) -> TxOutcome {
+        if Arc::make_mut(&mut self.outcomes)
+            .insert(tx, outcome)
+            .is_none()
+        {
             match outcome {
                 TxOutcome::Committed => self.committed_count += 1,
                 TxOutcome::Aborted => self.aborted_count += 1,
@@ -294,10 +301,10 @@ impl Executor {
         {
             let (account_shards, shared_shard) = self.store.split_shards_mut();
             let escrow_shards = self.elog.shards_mut();
-            let known = &self.outcomes;
+            let known: &FxHashMap<TxId, TxOutcome> = &self.outcomes;
             let mut jobs: Vec<PlogShardJob<'_>> = account_shards
-                .iter_mut()
-                .zip(escrow_shards.iter_mut())
+                .into_iter()
+                .zip(escrow_shards)
                 .zip(tasks.iter_mut().enumerate())
                 .filter(|(_, (_, tasks))| !tasks.is_empty())
                 .map(|((objects, escrow), (shard, tasks))| PlogShardJob {
@@ -340,6 +347,51 @@ impl Executor {
         out
     }
 
+    /// Execute a plog schedule with the Block-STM optimistic engine
+    /// (`ProtocolConfig::execution_mode = OptimisticStm`): every occurrence
+    /// runs speculatively against the frozen committed state on up to
+    /// `threads` workers, a serial pass validates the verdict traces in
+    /// schedule order (re-executing mismatches with a bumped incarnation),
+    /// and the surviving write-sets are folded into the shards with one
+    /// coalesced write per account. Returns exactly what the serial
+    /// reference walk returns, with bit-identical final state — see the
+    /// `stm_scheduler` module docs for the determinism argument.
+    pub fn process_plog_schedule_stm(
+        &mut self,
+        schedule: &[(InstanceId, SharedBlock)],
+        assign: &(dyn Fn(ObjectKey) -> InstanceId + Sync),
+        threads: usize,
+    ) -> Vec<(TxId, Option<TxOutcome>)> {
+        self.process_plog_schedule_stm_with_stats(schedule, assign, threads)
+            .0
+    }
+
+    /// [`Executor::process_plog_schedule_stm`], additionally reporting the
+    /// speculation counters (occurrences and validation-triggered
+    /// re-executions) the bench harness aggregates into an abort rate.
+    pub fn process_plog_schedule_stm_with_stats(
+        &mut self,
+        schedule: &[(InstanceId, SharedBlock)],
+        assign: &(dyn Fn(ObjectKey) -> InstanceId + Sync),
+        threads: usize,
+    ) -> (
+        Vec<(TxId, Option<TxOutcome>)>,
+        crate::stm_scheduler::StmStats,
+    ) {
+        crate::stm_scheduler::run_schedule(self, schedule, assign, threads)
+    }
+
+    /// Read-only parts the STM engine's speculative and validation phases
+    /// run against (the frozen committed state).
+    pub(crate) fn stm_parts(&self) -> (&ObjectStore, &EscrowLog, &FxHashMap<TxId, TxOutcome>) {
+        (&self.store, &self.elog, &self.outcomes)
+    }
+
+    /// Exclusive shard access for the STM engine's commit pass.
+    pub(crate) fn stm_commit_parts(&mut self) -> (&mut ObjectStore, &mut EscrowLog) {
+        (&mut self.store, &mut self.elog)
+    }
+
     /// Process transaction `tx` as it becomes first-pending in the global
     /// log. `assign` is the partition function (used to count how many
     /// occurrences of the transaction the global log will contain).
@@ -369,12 +421,14 @@ impl Executor {
         instances.sort_unstable();
         instances.dedup();
         let expected = instances.len().max(1);
-        let seen = self.glog_occurrences.entry(tx.id).or_insert(0);
+        let seen = Arc::make_mut(&mut self.glog_occurrences)
+            .entry(tx.id)
+            .or_insert(0);
         *seen += 1;
         if *seen < expected {
             return None;
         }
-        self.glog_occurrences.remove(&tx.id);
+        Arc::make_mut(&mut self.glog_occurrences).remove(&tx.id);
 
         // Last occurrence: execute (lines 35–39).
         if self.elog.all_escrowed(tx) {
@@ -449,7 +503,7 @@ pub struct PlogShardJob<'a> {
     shared: &'a StoreShard,
     /// Outcomes recorded before this schedule started (fast-path idempotency
     /// for re-delivered transactions).
-    known: &'a HashMap<TxId, TxOutcome>,
+    known: &'a FxHashMap<TxId, TxOutcome>,
     /// The shard-local transactions, in stream order.
     tasks: Vec<SharedTx>,
     /// One `(tx, outcome)` per task, in stream order.

@@ -1,0 +1,486 @@
+//! Multi-version memory for Block-STM optimistic execution.
+//!
+//! The optimistic engine (`stm_scheduler`) runs every transaction occurrence
+//! of a partial-log schedule speculatively and keeps the results here: one
+//! [`VersionedWrite`] per occurrence, carrying the incarnation number, the
+//! execution's [`ReadTrace`] and its [`WriteSet`]. Nothing in this module
+//! touches the real sharded store — the write-sets are folded into the
+//! shards only after the serial validation pass has accepted them.
+//!
+//! # Verdict-based read-sets
+//!
+//! A classic Block-STM read-set records the raw values read (balances), so
+//! any write to a hot key invalidates every later reader. The payment fast
+//! path only ever branches on *verdicts* — "is `(object, tx)` escrowed?",
+//! "does the balance cover the debit under its condition?", "does the credit
+//! cross-type check pass?" — and every amount it writes is a static function
+//! of the transaction's own legs. The [`ReadTrace`] therefore records one
+//! byte per verdict instead of one balance per read: a speculative execution
+//! stays valid as long as its *decisions* match the committed order, even
+//! when the balances underneath changed. On hot-account workloads this is
+//! the difference between re-executing almost every chained transaction and
+//! re-executing almost none (the hot account's balance changes constantly,
+//! but "balance covers the debit" rarely flips).
+//!
+//! # Why trace equality implies write-set equality
+//!
+//! Every write the fast path performs is `(static key, static amount)` —
+//! debits and escrow inserts use the leg's own amount, refunds refund the
+//! leg that was escrowed, credits use the payee leg's amount. Which writes
+//! happen is decided exclusively by the verdict sequence, plus one verdict
+//! that is *invariant across the schedule* and therefore excluded from the
+//! trace: the payee credit's cross-type check (`applies = exists || not
+//! shared`). The plog path never writes shared objects, and a credit can
+//! only flip `exists` on for a key whose `applies` was already true, so the
+//! speculative wave and the serial order always agree on it — recording it
+//! would add a read per payee leg and never catch a divergence. Two
+//! executions of the same `(tx, instance)` with equal traces therefore
+//! produce equal write-sets, which is what lets the validation pass accept a
+//! speculative result by comparing traces alone.
+
+use crate::executor::TxOutcome;
+use crate::store::ObjectStore;
+use crate::EscrowLog;
+use orthrus_types::{Amount, FxHashMap, FxHashSet, ObjectKey, TxId};
+
+/// One write against an account shard, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreWrite {
+    /// Subtract `amount` from `key` (a validated escrow debit; the verdict
+    /// that admitted it guarantees it cannot underflow).
+    Debit {
+        /// Account written.
+        key: ObjectKey,
+        /// Amount deducted.
+        amount: Amount,
+    },
+    /// Add `amount` to `key` with saturating semantics, creating the account
+    /// on first credit (payee credits and abort refunds).
+    Credit {
+        /// Account written.
+        key: ObjectKey,
+        /// Amount added.
+        amount: Amount,
+    },
+}
+
+impl StoreWrite {
+    /// The account this write touches.
+    pub fn key(&self) -> ObjectKey {
+        match self {
+            StoreWrite::Debit { key, .. } | StoreWrite::Credit { key, .. } => *key,
+        }
+    }
+}
+
+/// One write against an escrow shard, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscrowWrite {
+    /// Record the reservation `(key, tx) → amount`.
+    Insert {
+        /// Account the reservation locks.
+        key: ObjectKey,
+        /// Reserving transaction.
+        tx: TxId,
+        /// Reserved amount.
+        amount: Amount,
+    },
+    /// Drop the reservation `(key, tx)`.
+    Remove {
+        /// Account the reservation locked.
+        key: ObjectKey,
+        /// Reserving transaction.
+        tx: TxId,
+    },
+}
+
+impl EscrowWrite {
+    /// The account whose shard this write routes to.
+    pub fn key(&self) -> ObjectKey {
+        match self {
+            EscrowWrite::Insert { key, .. } | EscrowWrite::Remove { key, .. } => *key,
+        }
+    }
+}
+
+/// The complete effect of executing one occurrence: ordered store and escrow
+/// writes plus the outcome the serial walk would have returned.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteSet {
+    /// Account-shard writes, in execution order.
+    pub store: Vec<StoreWrite>,
+    /// Escrow-shard writes, in execution order.
+    pub escrow: Vec<EscrowWrite>,
+    /// What `process_plog_tx` would have returned for this occurrence:
+    /// `Some` if the transaction was confirmed (or already had an outcome),
+    /// `None` while it waits for escrows elsewhere or for global ordering.
+    pub result: Option<TxOutcome>,
+}
+
+/// The verdict sequence of one execution — the read-set in compressed,
+/// value-free form (see the module docs). Equal traces ⇒ equal write-sets.
+///
+/// Verdicts are two-bit values (0, 1 or 2), so up to 64 of them pack into a
+/// single inline `u128` — the common case (a payment records a handful) never
+/// allocates, which matters because the validation pass builds one probe
+/// trace per occurrence. Executions with more than 64 verdicts (very wide
+/// multi-payer contracts) spill to a byte vector. The representation is a
+/// pure function of the verdict count, so the derived equality — which
+/// treats different variants as unequal — is exact: traces of different
+/// lengths differ anyway, and equal-length traces share a variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadTrace(TraceRepr);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TraceRepr {
+    /// Up to 64 two-bit verdicts, newest at the high end.
+    Packed { len: u8, bits: u128 },
+    /// One byte per verdict, used past 64 entries.
+    Heap(Vec<u8>),
+}
+
+impl Default for ReadTrace {
+    fn default() -> Self {
+        Self(TraceRepr::Packed { len: 0, bits: 0 })
+    }
+}
+
+impl ReadTrace {
+    /// Append one verdict (must be `0..=2`; two bits are stored).
+    #[inline]
+    pub fn push(&mut self, verdict: u8) {
+        debug_assert!(verdict <= 2, "verdicts are two-bit values");
+        match &mut self.0 {
+            TraceRepr::Packed { len, bits } if *len < 64 => {
+                *bits |= u128::from(verdict & 0b11) << (2 * u32::from(*len));
+                *len += 1;
+            }
+            TraceRepr::Packed { len, bits } => {
+                let mut spilled: Vec<u8> = (0..*len)
+                    .map(|i| ((*bits >> (2 * u32::from(i))) & 0b11) as u8)
+                    .collect();
+                spilled.push(verdict);
+                self.0 = TraceRepr::Heap(spilled);
+            }
+            TraceRepr::Heap(bytes) => bytes.push(verdict),
+        }
+    }
+
+    /// Number of verdicts recorded.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            TraceRepr::Packed { len, .. } => usize::from(*len),
+            TraceRepr::Heap(bytes) => bytes.len(),
+        }
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One versioned entry of the multi-version memory: the write-set and read
+/// trace produced by incarnation `incarnation` of an occurrence.
+#[derive(Debug, Clone)]
+pub struct VersionedWrite {
+    /// Incarnation number: 0 for the speculative wave, bumped once per
+    /// validation-triggered re-execution.
+    pub incarnation: u32,
+    /// The verdict sequence the execution observed.
+    pub trace: ReadTrace,
+    /// The writes the execution produced.
+    pub set: WriteSet,
+}
+
+/// The multi-version memory: the latest [`VersionedWrite`] of every
+/// occurrence in the schedule, indexed by schedule position.
+///
+/// The serial validation pass replaces an entry (bumping its incarnation)
+/// whenever the speculative trace disagrees with the committed order; the
+/// commit pass then folds the surviving write-sets into the shards.
+#[derive(Debug, Default)]
+pub struct MVMemory {
+    entries: Vec<VersionedWrite>,
+}
+
+impl MVMemory {
+    /// Build the memory from the speculative wave's results, in schedule
+    /// order (everything enters at incarnation 0).
+    pub fn from_wave(wave: Vec<(ReadTrace, WriteSet)>) -> Self {
+        Self {
+            entries: wave
+                .into_iter()
+                .map(|(trace, set)| VersionedWrite {
+                    incarnation: 0,
+                    trace,
+                    set,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of occurrences tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the memory empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The latest version of occurrence `index`.
+    pub fn entry(&self, index: usize) -> &VersionedWrite {
+        &self.entries[index]
+    }
+
+    /// Replace occurrence `index` with a re-executed version, bumping its
+    /// incarnation. Returns the new incarnation number.
+    pub fn reexecute(&mut self, index: usize, trace: ReadTrace, set: WriteSet) -> u32 {
+        let entry = &mut self.entries[index];
+        entry.incarnation += 1;
+        entry.trace = trace;
+        entry.set = set;
+        entry.incarnation
+    }
+
+    /// Iterate over the validated entries in schedule order.
+    pub fn iter(&self) -> impl Iterator<Item = &VersionedWrite> {
+        self.entries.iter()
+    }
+}
+
+/// The read interface an occurrence execution runs against. The speculative
+/// wave reads the frozen committed state ([`CommittedView`]); the validation
+/// pass reads the committed state plus every validated write so far
+/// ([`OverlayView`]).
+pub trait StateView {
+    /// Existence and spendable balance of the account under `key` in one
+    /// read: `Some(balance)` if the account exists, `None` if absent.
+    fn account(&self, key: ObjectKey) -> Option<Amount>;
+    /// Does a shared object exist under `key`? (The plog fast path never
+    /// writes shared objects, so this read is stable across the schedule.)
+    fn shared_contains(&self, key: ObjectKey) -> bool;
+    /// Amount currently escrowed under `(key, tx)`, if any (the exact value
+    /// an abort refunds).
+    fn escrow_amount(&self, key: ObjectKey, tx: TxId) -> Option<Amount>;
+    /// Is `(key, tx)` currently escrowed?
+    fn escrow_contains(&self, key: ObjectKey, tx: TxId) -> bool {
+        self.escrow_amount(key, tx).is_some()
+    }
+    /// Outcome already recorded for `tx`, if any.
+    fn known_outcome(&self, tx: TxId) -> Option<TxOutcome>;
+}
+
+/// The committed state at schedule start, frozen: what every incarnation-0
+/// execution reads.
+pub struct CommittedView<'a> {
+    store: &'a ObjectStore,
+    elog: &'a EscrowLog,
+    outcomes: &'a FxHashMap<TxId, TxOutcome>,
+    shards: u32,
+}
+
+impl<'a> CommittedView<'a> {
+    /// Freeze the executor's current state.
+    pub fn new(
+        store: &'a ObjectStore,
+        elog: &'a EscrowLog,
+        outcomes: &'a FxHashMap<TxId, TxOutcome>,
+    ) -> Self {
+        let shards = store.num_account_shards();
+        Self {
+            store,
+            elog,
+            outcomes,
+            shards,
+        }
+    }
+}
+
+impl StateView for CommittedView<'_> {
+    fn account(&self, key: ObjectKey) -> Option<Amount> {
+        self.store
+            .account_shard(key.shard(self.shards) as usize)
+            .account_state(key)
+    }
+
+    fn shared_contains(&self, key: ObjectKey) -> bool {
+        self.store.shared_shard().contains(key)
+    }
+
+    fn escrow_amount(&self, key: ObjectKey, tx: TxId) -> Option<Amount> {
+        // Ids holding no reservation — the dominant case on the payment fast
+        // path — short-circuit inside the shard's incremental tx-id index.
+        self.elog.amount_of(key, tx)
+    }
+
+    fn known_outcome(&self, tx: TxId) -> Option<TxOutcome> {
+        self.outcomes.get(&tx).copied()
+    }
+}
+
+/// The exact serial-order state during validation: the committed base plus
+/// the fold of every validated write-set so far. Reads hit the overlay maps
+/// first and fall back to the frozen base, so occurrence `k` observes
+/// precisely what the serial reference walk would have shown it.
+pub struct OverlayView<'a> {
+    base: CommittedView<'a>,
+    /// Balances of every account written so far (presence ⇒ the account
+    /// exists).
+    balances: FxHashMap<ObjectKey, Amount>,
+    /// Escrow overrides: `Some(amount)` = inserted, `None` = removed.
+    escrow: FxHashMap<(ObjectKey, TxId), Option<Amount>>,
+    /// Outcomes recorded earlier in this schedule.
+    outcomes: FxHashMap<TxId, TxOutcome>,
+    /// Transactions with *surviving* escrow overrides (reservations left
+    /// pending or refunded across the schedule boundary) — together with
+    /// `outcomes` this is exactly the set of transaction ids whose reads
+    /// could differ from the frozen base.
+    escrow_touched: FxHashSet<TxId>,
+}
+
+impl<'a> OverlayView<'a> {
+    /// Start an overlay with no writes on top of the committed base.
+    pub fn new(base: CommittedView<'a>) -> Self {
+        Self {
+            base,
+            balances: FxHashMap::default(),
+            escrow: FxHashMap::default(),
+            outcomes: FxHashMap::default(),
+            escrow_touched: FxHashSet::default(),
+        }
+    }
+
+    /// Fold one validated write-set (of transaction `tx`) into the overlay.
+    pub fn apply(&mut self, tx: TxId, set: &WriteSet) {
+        let Self { base, balances, .. } = self;
+        for write in &set.store {
+            match *write {
+                StoreWrite::Debit { key, amount } => match balances.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut entry) => {
+                        *entry.get_mut() -= amount;
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(base.account(key).unwrap_or(0) - amount);
+                    }
+                },
+                StoreWrite::Credit { key, amount } => match balances.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut entry) => {
+                        let balance = entry.get_mut();
+                        *balance = balance.saturating_add(amount);
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(base.account(key).unwrap_or(0).saturating_add(amount));
+                    }
+                },
+            }
+        }
+        // The outcome (recorded below) shields `tx`'s escrow reads: entries
+        // under `(key, tx)` are only ever read by `tx` itself, which
+        // short-circuits on the recorded outcome first. So a reservation
+        // both taken and dropped inside a concluded write-set is invisible
+        // to the rest of the schedule and needs no overlay entry; only
+        // unmatched removes (pre-schedule reservations being refunded) and
+        // unmatched inserts must land. On payment-heavy schedules this
+        // skips the escrow bookkeeping entirely, allocation-free.
+        if set.result.is_some() && set.escrow.len() <= 64 {
+            let mut cancelled: u64 = 0;
+            for (at, write) in set.escrow.iter().enumerate() {
+                if let EscrowWrite::Remove { key, .. } = write {
+                    for earlier in (0..at).rev() {
+                        if cancelled & (1 << earlier) == 0 {
+                            if let EscrowWrite::Insert { key: taken, .. } = set.escrow[earlier] {
+                                if taken == *key {
+                                    cancelled |= (1 << earlier) | (1 << at);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (at, write) in set.escrow.iter().enumerate() {
+                if cancelled & (1 << at) == 0 {
+                    self.record_escrow(write);
+                    self.escrow_touched.insert(tx);
+                }
+            }
+        } else if !set.escrow.is_empty() {
+            for write in &set.escrow {
+                self.record_escrow(write);
+            }
+            self.escrow_touched.insert(tx);
+        }
+        if let Some(outcome) = set.result {
+            self.outcomes.entry(tx).or_insert(outcome);
+        }
+    }
+
+    fn record_escrow(&mut self, write: &EscrowWrite) {
+        match *write {
+            EscrowWrite::Insert { key, tx, amount } => {
+                self.escrow.insert((key, tx), Some(amount));
+            }
+            EscrowWrite::Remove { key, tx } => {
+                self.escrow.insert((key, tx), None);
+            }
+        }
+    }
+
+    /// Has the account under `key` been written during this schedule? The
+    /// keys of the balance overlay are exactly the dirty set the validation
+    /// pass needs — no separate bookkeeping required.
+    pub fn balance_written(&self, key: ObjectKey) -> bool {
+        self.balances.contains_key(&key)
+    }
+
+    /// Could `tx`'s own reads (its recorded outcome, its escrow entries)
+    /// differ from the frozen base? True once the schedule recorded an
+    /// outcome or a surviving escrow override for it.
+    pub fn tx_touched(&self, tx: TxId) -> bool {
+        self.outcomes.contains_key(&tx) || self.escrow_touched.contains(&tx)
+    }
+
+    /// Final balance of an account that received at least one write during
+    /// the schedule (used by the commit pass's coalesced per-key fold).
+    pub fn final_balance(&self, key: ObjectKey) -> Amount {
+        self.balances[&key]
+    }
+
+    /// Consume the overlay, returning the final balance of every account
+    /// written during the schedule — the commit pass's coalesced targets.
+    pub fn into_balances(self) -> FxHashMap<ObjectKey, Amount> {
+        self.balances
+    }
+}
+
+impl StateView for OverlayView<'_> {
+    fn account(&self, key: ObjectKey) -> Option<Amount> {
+        // A written balance implies the account exists (debits require
+        // existence, credits create).
+        match self.balances.get(&key) {
+            Some(balance) => Some(*balance),
+            None => self.base.account(key),
+        }
+    }
+
+    fn shared_contains(&self, key: ObjectKey) -> bool {
+        self.base.shared_contains(key)
+    }
+
+    fn escrow_amount(&self, key: ObjectKey, tx: TxId) -> Option<Amount> {
+        match self.escrow.get(&(key, tx)) {
+            Some(entry) => *entry,
+            None => self.base.escrow_amount(key, tx),
+        }
+    }
+
+    fn known_outcome(&self, tx: TxId) -> Option<TxOutcome> {
+        self.outcomes
+            .get(&tx)
+            .copied()
+            .or_else(|| self.base.known_outcome(tx))
+    }
+}

@@ -1,0 +1,694 @@
+//! The Block-STM optimistic scheduler (`ProtocolConfig::execution_mode =
+//! OptimisticStm`).
+//!
+//! [`Executor::process_plog_schedule_stm`] replaces the demotion scheduler's
+//! conflict analysis with optimistic concurrency in three deterministic
+//! phases:
+//!
+//! 1. **Speculative wave** — every transaction occurrence of the schedule
+//!    executes once against the *frozen* committed state (incarnation 0), in
+//!    parallel on the worker pool. No occurrence is demoted to a serial
+//!    lane: hot keys cost nothing here because nobody writes shared state.
+//! 2. **Validation** — a serial pass walks the schedule in order,
+//!    recomputing each occurrence's [`ReadTrace`] against the exact overlay
+//!    state (committed base + every validated write-set so far). A matching
+//!    trace proves the speculative write-set is the one the serial reference
+//!    walk would have produced (trace equality ⇒ write-set equality, see
+//!    `mvmemory`); a mismatch triggers an inline re-execution with a bumped
+//!    incarnation, whose result is exact by construction. The re-execution
+//!    count is the engine's *abort rate*.
+//! 3. **Commit** — the validated write-sets are folded into the real shards
+//!    per shard, in parallel: each written account receives *one*
+//!    [`StoreShard::apply_owned_run`] at its final overlay balance (the
+//!    accumulator updates telescope, so a hot account's k writes cost one
+//!    tree touch instead of k), and escrow reservations taken and dropped
+//!    within the same schedule cancel before ever touching a shard.
+//!    Outcomes are recorded in schedule order, exactly like the serial walk.
+//!
+//! Determinism: phases 2 and 3 depend only on the schedule order and the
+//! committed state — never on thread interleaving — so the final store,
+//! escrow log, outcome map, per-shard op counts and digests are bit-identical
+//! to the serial reference walk at any thread count. Only the abort rate is
+//! a property of the speculation (still deterministic: the wave always reads
+//! the same frozen state).
+
+use crate::escrow::EscrowShard;
+use crate::executor::{Executor, TxOutcome};
+use crate::mvmemory::{
+    CommittedView, EscrowWrite, MVMemory, OverlayView, ReadTrace, StateView, StoreWrite, WriteSet,
+};
+use crate::store::StoreShard;
+use orthrus_types::pool::{parallel_for_mut, parallel_map};
+use orthrus_types::{
+    Amount, FxHashMap, InstanceId, ObjectKey, ObjectOp, Operation, SharedBlock, SharedTx,
+    Transaction, TxId,
+};
+
+/// Counters the optimistic engine reports per schedule (aggregated by the
+/// bench harness into an abort rate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StmStats {
+    /// Transaction occurrences executed speculatively.
+    pub occurrences: u64,
+    /// Occurrences whose speculative trace failed validation and were
+    /// re-executed with a bumped incarnation.
+    pub reexecutions: u64,
+    /// Wall-clock nanoseconds of the speculative wave — embarrassingly
+    /// parallel work (the pool divides it by its effective width).
+    pub wave_ns: u64,
+    /// Wall-clock nanoseconds of the serial validation pass (which also
+    /// groups the validated writes per shard) — the engine's inherently
+    /// sequential span.
+    pub validate_ns: u64,
+    /// Wall-clock nanoseconds of the per-shard commit jobs — parallel
+    /// across shards.
+    pub commit_ns: u64,
+}
+
+impl StmStats {
+    /// Fraction of occurrences that needed re-execution.
+    pub fn abort_rate(&self) -> f64 {
+        if self.occurrences == 0 {
+            0.0
+        } else {
+            self.reexecutions as f64 / self.occurrences as f64
+        }
+    }
+
+    /// Accumulate another schedule's counters.
+    pub fn merge(&mut self, other: StmStats) {
+        self.occurrences += other.occurrences;
+        self.reexecutions += other.reexecutions;
+        self.wave_ns += other.wave_ns;
+        self.validate_ns += other.validate_ns;
+        self.commit_ns += other.commit_ns;
+    }
+}
+
+/// Trace byte: escrow of a leg failed (aborting the transaction).
+const ESCROW_FAIL: u8 = 0;
+/// Trace byte: escrow of a leg succeeded.
+const ESCROW_OK: u8 = 1;
+/// Trace byte: the leg's reservation already existed (idempotent success).
+const ESCROW_HELD: u8 = 2;
+
+/// Where an execution's writes go: the speculative wave and re-executions
+/// record them into a [`WriteSet`]; trace-only validation drops them.
+trait WriteSink {
+    /// Whether this sink keeps writes. Write-only work whose inputs are
+    /// schedule-invariant (the payee credit loop, the escrow-drop loop of a
+    /// committing payment) is skipped entirely when `false` — a validation
+    /// probe cannot observe it through the trace.
+    const NEEDS_WRITES: bool;
+    fn store(&mut self, write: StoreWrite);
+    fn escrow(&mut self, write: EscrowWrite);
+}
+
+impl WriteSink for WriteSet {
+    const NEEDS_WRITES: bool = true;
+    fn store(&mut self, write: StoreWrite) {
+        self.store.push(write);
+    }
+    fn escrow(&mut self, write: EscrowWrite) {
+        self.escrow.push(write);
+    }
+}
+
+/// Sink for validation runs: only the trace matters.
+struct NullSink;
+
+impl WriteSink for NullSink {
+    const NEEDS_WRITES: bool = false;
+    fn store(&mut self, _: StoreWrite) {}
+    fn escrow(&mut self, _: EscrowWrite) {}
+}
+
+/// The escrow verdict of one owned-decrement leg, replicating
+/// `EscrowLog::escrow` exactly: the condition check against the
+/// post-debit balance, then `ObjectStore::debit`'s failure cases (cross-type
+/// mismatch, missing account, insufficient balance). Returns the amount to
+/// debit-and-reserve on success. A missing account fails regardless of the
+/// condition (the serial walk evaluates the condition against balance zero
+/// and then fails the existence check), so one `account` read decides.
+fn escrow_verdict<V: StateView>(view: &V, leg: &ObjectOp) -> Option<Amount> {
+    let amount = match leg.op {
+        Operation::Debit(a) => a,
+        _ => return None,
+    };
+    let balance = view.account(leg.key)?;
+    if !leg
+        .condition
+        .allows_balance(i128::from(balance) - i128::from(amount))
+    {
+        return None;
+    }
+    if balance < amount {
+        return None;
+    }
+    Some(amount)
+}
+
+/// Execute one occurrence of `tx` at `instance` against `view`, mirroring
+/// [`Executor::process_plog_tx`] decision-for-decision. Writes go to `sink`;
+/// the returned trace records every verdict taken (and nothing else — see
+/// the `mvmemory` module docs for why that is a sufficient read-set).
+fn run_occurrence<V: StateView, S: WriteSink>(
+    view: &V,
+    tx: &Transaction,
+    instance: InstanceId,
+    assign: &(dyn Fn(ObjectKey) -> InstanceId + Sync),
+    sink: &mut S,
+) -> (ReadTrace, Option<TxOutcome>) {
+    let mut trace = ReadTrace::default();
+    if let Some(existing) = view.known_outcome(tx.id) {
+        trace.push(match existing {
+            TxOutcome::Committed => 1,
+            TxOutcome::Aborted => 2,
+        });
+        return (trace, Some(existing));
+    }
+    trace.push(0);
+
+    // Escrow every owned-decrement leg assigned to this instance. `local`
+    // tracks reservations taken by this very execution so that in-transaction
+    // reads (idempotency, all-escrowed, refunds) see them.
+    let mut local: Vec<(ObjectKey, Amount)> = Vec::new();
+    let mut failed = false;
+    for leg in tx
+        .ops
+        .iter()
+        .filter(|leg| leg.is_owned_decrement() && assign(leg.key) == instance)
+    {
+        let key = leg.key;
+        if local.iter().any(|(k, _)| *k == key) || view.escrow_contains(key, tx.id) {
+            trace.push(ESCROW_HELD);
+            continue;
+        }
+        match escrow_verdict(view, leg) {
+            Some(amount) => {
+                trace.push(ESCROW_OK);
+                sink.store(StoreWrite::Debit { key, amount });
+                sink.escrow(EscrowWrite::Insert {
+                    key,
+                    tx: tx.id,
+                    amount,
+                });
+                local.push((key, amount));
+            }
+            None => {
+                trace.push(ESCROW_FAIL);
+                failed = true;
+                break;
+            }
+        }
+    }
+
+    if failed {
+        // `EscrowLog::abort`: walk every owned-decrement leg of the whole
+        // transaction (other instances' legs included) and refund each
+        // reservation present. Refund credits cannot fail — the account
+        // existed when the escrow was taken.
+        let mut refunded: Vec<ObjectKey> = Vec::new();
+        for leg in tx.ops.iter().filter(|leg| leg.is_owned_decrement()) {
+            let key = leg.key;
+            let held = if refunded.contains(&key) {
+                None
+            } else {
+                local
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, amount)| *amount)
+                    .or_else(|| view.escrow_amount(key, tx.id))
+            };
+            trace.push(u8::from(held.is_some()));
+            if let Some(amount) = held {
+                sink.escrow(EscrowWrite::Remove { key, tx: tx.id });
+                sink.store(StoreWrite::Credit { key, amount });
+                refunded.push(key);
+            }
+        }
+        return (trace, Some(TxOutcome::Aborted));
+    }
+
+    // Payments commit as soon as every payer leg across all instances is
+    // escrowed (`all_escrowed` → `commit` → `apply_credits`); contracts wait
+    // for global ordering.
+    if tx.is_payment() {
+        let all = tx
+            .ops
+            .iter()
+            .filter(|leg| leg.is_owned_decrement())
+            .all(|leg| {
+                local.iter().any(|(k, _)| *k == leg.key) || view.escrow_contains(leg.key, tx.id)
+            });
+        trace.push(u8::from(all));
+        if all {
+            // Write-only from here on: dropping the reservations reads
+            // nothing, and the payee credit's `applies` verdict is invariant
+            // across the schedule (see the `mvmemory` module docs), so a
+            // trace-only probe skips both loops — on hot workloads that is
+            // most of the probe's cost.
+            if S::NEEDS_WRITES {
+                let mut dropped: Vec<ObjectKey> = Vec::new();
+                for leg in tx.ops.iter().filter(|leg| leg.is_owned_decrement()) {
+                    if !dropped.contains(&leg.key) {
+                        sink.escrow(EscrowWrite::Remove {
+                            key: leg.key,
+                            tx: tx.id,
+                        });
+                        dropped.push(leg.key);
+                    }
+                }
+                for leg in tx.ops.iter().filter(|leg| leg.is_owned_increment()) {
+                    // `ObjectStore::credit`'s cross-type check: a credit whose
+                    // key names an existing shared object is silently skipped.
+                    let applies = view.account(leg.key).is_some() || !view.shared_contains(leg.key);
+                    if applies {
+                        sink.store(StoreWrite::Credit {
+                            key: leg.key,
+                            amount: leg.op.amount(),
+                        });
+                    }
+                }
+            }
+            return (trace, Some(TxOutcome::Committed));
+        }
+    }
+    (trace, None)
+}
+
+/// Full execution: trace plus write-set (wave and re-executions).
+fn execute_occurrence<V: StateView>(
+    view: &V,
+    tx: &Transaction,
+    instance: InstanceId,
+    assign: &(dyn Fn(ObjectKey) -> InstanceId + Sync),
+) -> (ReadTrace, WriteSet) {
+    let mut set = WriteSet::default();
+    let (trace, result) = run_occurrence(view, tx, instance, assign, &mut set);
+    set.result = result;
+    (trace, set)
+}
+
+/// Trace-only execution: the validation probe (no write-set allocation).
+fn trace_occurrence<V: StateView>(
+    view: &V,
+    tx: &Transaction,
+    instance: InstanceId,
+    assign: &(dyn Fn(ObjectKey) -> InstanceId + Sync),
+) -> ReadTrace {
+    run_occurrence(view, tx, instance, assign, &mut NullSink).0
+}
+
+/// One shard's slice of the commit pass: coalesced account runs plus netted
+/// escrow mutations, applied with exclusive shard access.
+struct CommitJob<'a> {
+    objects: &'a mut StoreShard,
+    escrow: &'a mut EscrowShard,
+    /// Written accounts of this shard → number of successful ops coalesced.
+    /// Application order across keys is irrelevant: `apply_owned_run` puts
+    /// commute (the digest accumulator folds with wrapping adds and the op
+    /// counters are sums), so a hash map's arbitrary order stays
+    /// bit-identical.
+    runs: FxHashMap<ObjectKey, u64>,
+    /// Surviving escrow mutations: `Some(amount)` inserts, `None` removes.
+    /// Distinct `(key, tx)` entries commute the same way.
+    nets: FxHashMap<(ObjectKey, TxId), Option<Amount>>,
+    /// Final overlay balance of every written account (all shards).
+    balances: &'a FxHashMap<ObjectKey, Amount>,
+}
+
+impl CommitJob<'_> {
+    fn run(&mut self) {
+        for (&key, &count) in &self.runs {
+            self.objects
+                .apply_owned_run(key, self.balances[&key], count);
+        }
+        for (&(key, tx), &net) in &self.nets {
+            match net {
+                Some(amount) => self.escrow.insert(key, tx, amount),
+                None => {
+                    self.escrow.remove(key, tx);
+                }
+            }
+        }
+    }
+}
+
+/// Run one plog schedule through the three-phase optimistic engine. Returns
+/// the per-occurrence confirmations in schedule order (exactly what the
+/// serial reference walk returns) plus the speculation counters.
+pub(crate) fn run_schedule(
+    executor: &mut Executor,
+    schedule: &[(InstanceId, SharedBlock)],
+    assign: &(dyn Fn(ObjectKey) -> InstanceId + Sync),
+    threads: usize,
+) -> (Vec<(TxId, Option<TxOutcome>)>, StmStats) {
+    let occurrences: Vec<(InstanceId, &SharedTx)> = schedule
+        .iter()
+        .flat_map(|(instance, block)| block.txs.iter().map(move |tx| (*instance, tx)))
+        .collect();
+    let mut stats = StmStats {
+        occurrences: occurrences.len() as u64,
+        ..StmStats::default()
+    };
+    if occurrences.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    let (mv, final_balances, runs, nets) = {
+        let (store, elog, outcomes) = executor.stm_parts();
+
+        // Phase 1 — speculative wave against the frozen committed state.
+        let t_wave = std::time::Instant::now();
+        let view = CommittedView::new(store, elog, outcomes);
+        let wave = parallel_map(&occurrences, threads, |(instance, tx)| {
+            execute_occurrence(&view, tx, *instance, assign)
+        });
+        let mut mv = MVMemory::from_wave(wave);
+        stats.wave_ns = t_wave.elapsed().as_nanos() as u64;
+        let t_validate = std::time::Instant::now();
+
+        // Phase 2 — serial validation in schedule order against the exact
+        // overlay; mismatched traces re-execute inline (incarnation += 1).
+        //
+        // Most occurrences do not even need the trace probe. A speculative
+        // trace can only diverge from the serial order if the overlay differs
+        // from the frozen base on something the occurrence *reads*: the
+        // balance of an owned-decrement leg (escrow verdicts), an escrow
+        // entry of its own transaction id, or its own recorded outcome. Payee
+        // reads are immune by construction — the `applies` verdict is
+        // `exists || !shared`, payments never write shared objects and a
+        // credit-created account only turns `exists` on when `applies` was
+        // already true. So for an occurrence whose transaction wrote nothing
+        // yet this schedule, it suffices to recompute each dirty
+        // decrement-leg's escrow verdict under the overlay and under the
+        // frozen base: pairwise-equal verdicts force the execution down the
+        // identical path the wave took (every other read is untouched), so
+        // trace and write-set are already exact — no probe, no re-execution.
+        // A hot account's balance changes constantly, but "balance covers
+        // the debit" rarely flips, which is what makes this cheap.
+        let frozen_view = CommittedView::new(store, elog, outcomes);
+        let mut overlay = OverlayView::new(CommittedView::new(store, elog, outcomes));
+        // The commit pass's per-shard work lists are folded right here, in
+        // the same sweep that applies each validated write-set to the
+        // overlay — a separate grouping pass over all write-sets would
+        // re-read every one of them from cold cache on the serial span.
+        // Account writes coalesce to one entry per key; escrow insert/remove
+        // pairs taken and dropped within this schedule cancel entirely.
+        let shards = store.num_account_shards();
+        let mut runs: Vec<FxHashMap<ObjectKey, u64>> = vec![FxHashMap::default(); shards as usize];
+        let mut nets: Vec<FxHashMap<(ObjectKey, TxId), Option<Amount>>> =
+            vec![FxHashMap::default(); shards as usize];
+        for (index, (instance, tx)) in occurrences.iter().enumerate() {
+            let mut conflicted = overlay.tx_touched(tx.id);
+            if !conflicted {
+                for leg in tx.ops.iter().filter(|leg| leg.is_owned_decrement()) {
+                    if overlay.balance_written(leg.key)
+                        && escrow_verdict(&overlay, leg) != escrow_verdict(&frozen_view, leg)
+                    {
+                        conflicted = true;
+                        break;
+                    }
+                }
+            }
+            if conflicted {
+                let probe = trace_occurrence(&overlay, tx, *instance, assign);
+                if probe != mv.entry(index).trace {
+                    let (trace, set) = execute_occurrence(&overlay, tx, *instance, assign);
+                    mv.reexecute(index, trace, set);
+                    stats.reexecutions += 1;
+                }
+            }
+            let set = &mv.entry(index).set;
+            overlay.apply(tx.id, set);
+            for write in &set.store {
+                let key = write.key();
+                *runs[key.shard(shards) as usize].entry(key).or_insert(0) += 1;
+            }
+            for write in &set.escrow {
+                let net = &mut nets[write.key().shard(shards) as usize];
+                match *write {
+                    EscrowWrite::Insert { key, tx, amount } => {
+                        net.insert((key, tx), Some(amount));
+                    }
+                    EscrowWrite::Remove { key, tx } => match net.remove(&(key, tx)) {
+                        // Reservation taken earlier in this same schedule:
+                        // the pair nets to nothing.
+                        Some(Some(_)) => {}
+                        // Pre-schedule reservation: the removal must land.
+                        _ => {
+                            net.insert((key, tx), None);
+                        }
+                    },
+                }
+            }
+        }
+        stats.validate_ns = t_validate.elapsed().as_nanos() as u64;
+        (mv, overlay.into_balances(), runs, nets)
+    };
+
+    // Phase 3 — commit: apply each shard's coalesced work list with
+    // exclusive shard access (parallel across shards).
+    let t_commit = std::time::Instant::now();
+    {
+        let (store, elog) = executor.stm_commit_parts();
+        let (account_shards, _shared) = store.split_shards_mut();
+        let escrow_shards = elog.shards_mut();
+        let mut jobs: Vec<CommitJob<'_>> = account_shards
+            .into_iter()
+            .zip(escrow_shards)
+            .zip(runs.into_iter().zip(nets))
+            .filter(|(_, (runs, nets))| !runs.is_empty() || !nets.is_empty())
+            .map(|((objects, escrow), (runs, nets))| CommitJob {
+                objects,
+                escrow,
+                runs,
+                nets,
+                balances: &final_balances,
+            })
+            .collect();
+        parallel_for_mut(&mut jobs, threads, |job| job.run());
+    }
+    stats.commit_ns = t_commit.elapsed().as_nanos() as u64;
+    if std::env::var_os("ORTHRUS_STM_PROFILE").is_some() {
+        eprintln!(
+            "stm wave: {:.3}ms validate: {:.3}ms commit: {:.3}ms",
+            stats.wave_ns as f64 / 1e6,
+            stats.validate_ns as f64 / 1e6,
+            stats.commit_ns as f64 / 1e6,
+        );
+    }
+
+    // Phase 4 — record outcomes in schedule order (idempotent, so repeated
+    // occurrences of one transaction bump the counters exactly once).
+    let mut out = Vec::with_capacity(occurrences.len());
+    for (index, (_, tx)) in occurrences.iter().enumerate() {
+        let result = mv.entry(index).set.result;
+        if let Some(outcome) = result {
+            executor.record(tx.id, outcome);
+        }
+        out.push((tx.id, result));
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjectStore;
+    use orthrus_types::{
+        Block, BlockParams, ClientId, Epoch, Rank, ReplicaId, SeqNum, SystemState, View,
+    };
+    use std::sync::Arc;
+
+    fn txid(i: u64) -> TxId {
+        TxId::new(ClientId::new(7), i)
+    }
+
+    fn assign_mod(m: u32) -> impl Fn(ObjectKey) -> InstanceId + Sync {
+        move |key: ObjectKey| InstanceId::new((key.value() % u64::from(m)) as u32)
+    }
+
+    fn executor_with_accounts(shards: u32, accounts: &[(u64, u64)]) -> Executor {
+        let mut store = ObjectStore::with_shards(shards);
+        for (key, balance) in accounts {
+            store.create_account(ObjectKey::new(*key), *balance);
+        }
+        Executor::with_store(store)
+    }
+
+    fn block_of(instance: InstanceId, txs: Vec<SharedTx>, m: u32) -> SharedBlock {
+        let params = BlockParams {
+            instance,
+            sn: SeqNum::new(0),
+            epoch: Epoch::new(0),
+            view: View::new(0),
+            proposer: ReplicaId::new(instance.value()),
+            rank: Rank::new(0),
+            state: SystemState::new(m as usize),
+        };
+        Arc::new(Block::from_shared(params, txs))
+    }
+
+    /// One block per instance, txs routed to the payer's instance.
+    fn schedule_of(m: u32, txs: &[Transaction]) -> Vec<(InstanceId, SharedBlock)> {
+        let assign = assign_mod(m);
+        let mut per: Vec<Vec<SharedTx>> = vec![Vec::new(); m as usize];
+        for tx in txs {
+            let instance = tx
+                .ops
+                .iter()
+                .find(|leg| leg.is_owned_decrement())
+                .map(|leg| assign(leg.key))
+                .unwrap_or(InstanceId::new(0));
+            per[instance.as_usize()].push(Arc::new(tx.clone()));
+        }
+        per.into_iter()
+            .enumerate()
+            .filter(|(_, txs)| !txs.is_empty())
+            .map(|(i, txs)| {
+                let instance = InstanceId::new(i as u32);
+                (instance, block_of(instance, txs, m))
+            })
+            .collect()
+    }
+
+    /// The STM engine must land on the exact state, outcomes and counters of
+    /// the serial reference walk — including a hot-account chain where every
+    /// balance changes but no verdict does (zero re-executions).
+    #[test]
+    fn hot_account_chain_commits_without_reexecution() {
+        let m = 4;
+        let txs: Vec<Transaction> = (0..32)
+            .map(|i| Transaction::payment(txid(i), ClientId::new(1), ClientId::new(2 + i), 2))
+            .collect();
+
+        let mut serial = executor_with_accounts(m, &[(1, 1000)]);
+        let mut stm = executor_with_accounts(m, &[(1, 1000)]);
+        let schedule = schedule_of(m, &txs);
+        let assign = assign_mod(m);
+
+        let mut expected = Vec::new();
+        for (instance, block) in &schedule {
+            for tx in &block.txs {
+                expected.push((tx.id, serial.process_plog_tx(tx, *instance, &assign)));
+            }
+        }
+        let (got, stats) = run_schedule(&mut stm, &schedule, &assign, 4);
+
+        assert_eq!(got, expected);
+        assert_eq!(stats.occurrences, 32);
+        assert_eq!(
+            stats.reexecutions, 0,
+            "verdict traces are balance-free; a hot chain must validate clean"
+        );
+        assert_eq!(stm.state_digest(), serial.state_digest());
+        assert_eq!(
+            stm.store().shard_op_counts(),
+            serial.store().shard_op_counts()
+        );
+        assert_eq!(stm.committed_count(), serial.committed_count());
+        assert_eq!(stm.total_supply(), serial.total_supply());
+    }
+
+    /// A speculative commit that the serial order turns into an abort (the
+    /// hot payer runs dry mid-schedule) must be caught by validation and
+    /// re-executed, landing on the serial result.
+    #[test]
+    fn draining_payer_forces_reexecution_and_matches_serial() {
+        let m = 4;
+        // Payer 1 holds 10; five payments of 4 — speculatively each sees
+        // balance 10 and commits, but serially only the first two succeed.
+        let txs: Vec<Transaction> = (0..5)
+            .map(|i| Transaction::payment(txid(i), ClientId::new(1), ClientId::new(2 + i), 4))
+            .collect();
+
+        let mut serial = executor_with_accounts(m, &[(1, 10)]);
+        let mut stm = executor_with_accounts(m, &[(1, 10)]);
+        let schedule = schedule_of(m, &txs);
+        let assign = assign_mod(m);
+
+        let mut expected = Vec::new();
+        for (instance, block) in &schedule {
+            for tx in &block.txs {
+                expected.push((tx.id, serial.process_plog_tx(tx, *instance, &assign)));
+            }
+        }
+        let (got, stats) = run_schedule(&mut stm, &schedule, &assign, 2);
+
+        assert_eq!(got, expected);
+        assert!(stats.reexecutions > 0, "the drained payer must mispredict");
+        assert_eq!(stm.state_digest(), serial.state_digest());
+        assert_eq!(stm.aborted_count(), serial.aborted_count());
+        assert_eq!(stm.committed_count(), serial.committed_count());
+        assert_eq!(
+            stm.store().shard_op_counts(),
+            serial.store().shard_op_counts()
+        );
+        assert_eq!(stm.escrow_log().len(), serial.escrow_log().len());
+    }
+
+    /// Multi-payer payments and contracts leave escrows pending across the
+    /// schedule boundary; the netted commit must materialize exactly the
+    /// reservations the serial walk leaves behind.
+    #[test]
+    fn pending_escrows_survive_the_netted_commit() {
+        let m = 4;
+        let multi = Transaction::multi_payment(
+            txid(0),
+            &[(ClientId::new(1), 4), (ClientId::new(2), 6)],
+            &[(ClientId::new(3), 10)],
+        );
+        let lone = Transaction::payment(txid(1), ClientId::new(5), ClientId::new(6), 1);
+        // Only instance 1's block arrives this schedule: payer 1's leg is
+        // escrowed, payer 2's is not, so the multi-payment stays pending.
+        let schedule = vec![(
+            InstanceId::new(1),
+            block_of(
+                InstanceId::new(1),
+                vec![Arc::new(multi.clone()), Arc::new(lone.clone())],
+                m,
+            ),
+        )];
+        let assign = assign_mod(m);
+
+        let mut serial = executor_with_accounts(m, &[(1, 10), (2, 10), (5, 10)]);
+        let mut stm = executor_with_accounts(m, &[(1, 10), (2, 10), (5, 10)]);
+
+        let mut expected = Vec::new();
+        for (instance, block) in &schedule {
+            for tx in &block.txs {
+                expected.push((tx.id, serial.process_plog_tx(tx, *instance, &assign)));
+            }
+        }
+        let (got, stats) = run_schedule(&mut stm, &schedule, &assign, 2);
+
+        assert_eq!(got, expected);
+        assert_eq!(got[0].1, None, "multi-payment must stay pending");
+        assert_eq!(stats.occurrences, 2);
+        assert_eq!(stm.state_digest(), serial.state_digest());
+        assert_eq!(stm.escrow_log().len(), 1);
+        assert_eq!(
+            stm.escrow_log().total_reserved(),
+            serial.escrow_log().total_reserved()
+        );
+        assert_eq!(stm.total_supply(), serial.total_supply());
+    }
+
+    #[test]
+    fn abort_rate_is_reexecutions_over_occurrences() {
+        let stats = StmStats {
+            occurrences: 8,
+            reexecutions: 2,
+            ..StmStats::default()
+        };
+        assert!((stats.abort_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(StmStats::default().abort_rate(), 0.0);
+        let mut acc = StmStats::default();
+        acc.merge(stats);
+        acc.merge(stats);
+        assert_eq!(acc.occurrences, 16);
+        assert_eq!(acc.reexecutions, 4);
+    }
+}

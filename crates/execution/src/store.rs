@@ -30,6 +30,7 @@
 
 use orthrus_types::{Amount, Digest, ObjectKey, OrthrusError, Result, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The state of one object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +102,16 @@ impl StoreShard {
             Some(ObjectState::Owned { balance }) => *balance,
             _ => 0,
         }
+    }
+
+    /// Existence and balance in a single tree descent: `Some(balance)` if any
+    /// entry sits under `key` (owned balance, or zero for a non-owned entry
+    /// — exactly the `(contains, balance)` pair), `None` if absent.
+    pub fn account_state(&self, key: ObjectKey) -> Option<Amount> {
+        self.objects.get(&key).map(|state| match state {
+            ObjectState::Owned { balance } => *balance,
+            _ => 0,
+        })
     }
 
     /// Value of a shared object in this shard (zero if absent).
@@ -182,6 +193,17 @@ impl StoreShard {
         self.ops += 1;
     }
 
+    /// Apply a coalesced run of `op_count` successful credits/debits against
+    /// one account in a single write: the accumulator updates telescope, so
+    /// writing only the final balance (and bumping `ops` by the run length)
+    /// leaves the shard bit-identical to applying every operation one by
+    /// one. Used by the Block-STM commit pass to fold a validated
+    /// per-account write run.
+    pub(crate) fn apply_owned_run(&mut self, key: ObjectKey, balance: Amount, op_count: u64) {
+        self.put(key, ObjectState::Owned { balance });
+        self.ops += op_count;
+    }
+
     /// Iterate over the shard's objects in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&ObjectKey, &ObjectState)> {
         self.objects.iter()
@@ -190,10 +212,17 @@ impl StoreShard {
 
 /// The store of all objects known to a replica: `m` account shards plus a
 /// dedicated shard for shared (contract) objects.
+///
+/// Shards sit behind [`Arc`]s with copy-on-write mutation
+/// ([`Arc::make_mut`]), so cloning the store — the basis of checkpoint
+/// snapshots and crash-recovery state transfer — costs O(shards) reference
+/// bumps instead of a deep copy; a shard's map is only duplicated when the
+/// live store next writes to it while a snapshot is still holding the other
+/// reference.
 #[derive(Debug, Clone)]
 pub struct ObjectStore {
-    accounts: Vec<StoreShard>,
-    shared: StoreShard,
+    accounts: Vec<Arc<StoreShard>>,
+    shared: Arc<StoreShard>,
 }
 
 impl Default for ObjectStore {
@@ -212,8 +241,10 @@ impl ObjectStore {
     /// shard).
     pub fn with_shards(shards: u32) -> Self {
         Self {
-            accounts: (0..shards.max(1)).map(|_| StoreShard::default()).collect(),
-            shared: StoreShard::default(),
+            accounts: (0..shards.max(1))
+                .map(|_| Arc::new(StoreShard::default()))
+                .collect(),
+            shared: Arc::new(StoreShard::default()),
         }
     }
 
@@ -232,17 +263,20 @@ impl ObjectStore {
             return;
         }
         let old = std::mem::take(&mut self.accounts);
-        self.accounts = (0..shards).map(|_| StoreShard::default()).collect();
+        self.accounts = (0..shards)
+            .map(|_| Arc::new(StoreShard::default()))
+            .collect();
         let mut ops = 0u64;
         for shard in old {
+            let shard = Arc::try_unwrap(shard).unwrap_or_else(|arc| (*arc).clone());
             ops += shard.ops;
             for (key, state) in shard.objects {
-                self.accounts[key.shard(shards) as usize].put(key, state);
+                Arc::make_mut(&mut self.accounts[key.shard(shards) as usize]).put(key, state);
             }
         }
         // Mutation history cannot be attributed to the new layout; park it on
         // shard 0 so global op totals survive a reshard.
-        self.accounts[0].ops += ops;
+        Arc::make_mut(&mut self.accounts[0]).ops += ops;
     }
 
     #[inline]
@@ -255,21 +289,21 @@ impl ObjectStore {
         // A key has exactly one live entry across the whole store: creating
         // it as an account evicts any shared record under the same key (the
         // unsharded store's `insert` semantics).
-        self.shared.remove(key);
+        Arc::make_mut(&mut self.shared).remove(key);
         let shard = self.route(key);
-        self.accounts[shard].put(key, ObjectState::Owned { balance });
+        Arc::make_mut(&mut self.accounts[shard]).put(key, ObjectState::Owned { balance });
     }
 
     /// Create (or reset) a shared object with the given initial value.
     pub fn create_shared(&mut self, key: ObjectKey, value: Value) {
         let shard = self.route(key);
-        self.accounts[shard].remove(key);
-        self.shared.put(key, ObjectState::Shared { value });
+        Arc::make_mut(&mut self.accounts[shard]).remove(key);
+        Arc::make_mut(&mut self.shared).put(key, ObjectState::Shared { value });
     }
 
     /// Number of objects in the store.
     pub fn len(&self) -> usize {
-        self.accounts.iter().map(StoreShard::len).sum::<usize>() + self.shared.len()
+        self.accounts.iter().map(|s| s.len()).sum::<usize>() + self.shared.len()
     }
 
     /// Is the store empty?
@@ -303,7 +337,7 @@ impl ObjectStore {
                 reason: "credit applied to a shared object".into(),
             });
         }
-        self.accounts[shard].credit(key, amount);
+        Arc::make_mut(&mut self.accounts[shard]).credit(key, amount);
         Ok(())
     }
 
@@ -318,7 +352,7 @@ impl ObjectStore {
                 reason: "debit applied to a shared object".into(),
             });
         }
-        self.accounts[shard].debit(key, amount)
+        Arc::make_mut(&mut self.accounts[shard]).debit(key, amount)
     }
 
     /// Assign `value` to the shared object `key`, creating it if needed.
@@ -329,7 +363,7 @@ impl ObjectStore {
                 reason: "contract write applied to an owned account".into(),
             });
         }
-        self.shared.write_shared(key, value);
+        Arc::make_mut(&mut self.shared).write_shared(key, value);
         Ok(())
     }
 
@@ -342,7 +376,7 @@ impl ObjectStore {
             });
         }
         let value = self.shared.shared_value(key).saturating_add(delta);
-        self.shared.write_shared(key, value);
+        Arc::make_mut(&mut self.shared).write_shared(key, value);
         Ok(())
     }
 
@@ -388,7 +422,7 @@ impl ObjectStore {
     pub fn iter(&self) -> impl Iterator<Item = (&ObjectKey, &ObjectState)> {
         self.accounts
             .iter()
-            .flat_map(StoreShard::iter)
+            .flat_map(|s| s.iter())
             .chain(self.shared.iter())
     }
 
@@ -407,15 +441,31 @@ impl ObjectStore {
     pub fn shard_op_counts(&self) -> Vec<u64> {
         self.accounts
             .iter()
-            .map(StoreShard::op_count)
+            .map(|s| s.op_count())
             .chain(std::iter::once(self.shared.op_count()))
             .collect()
     }
 
+    /// Read access to one account shard (the executor's speculative readers
+    /// index shards directly during the Block-STM wave).
+    pub fn account_shard(&self, shard: usize) -> &StoreShard {
+        &self.accounts[shard]
+    }
+
+    /// Read access to the shared-object shard.
+    pub fn shared_shard(&self) -> &StoreShard {
+        &self.shared
+    }
+
     /// Split the store into its mutable account shards and the (read-only)
-    /// shared shard, for the executor's parallel plog workers.
-    pub fn split_shards_mut(&mut self) -> (&mut [StoreShard], &StoreShard) {
-        (&mut self.accounts, &self.shared)
+    /// shared shard, for the executor's parallel plog workers. Unshares any
+    /// shard still referenced by a snapshot (copy-on-write), so in-flight
+    /// state transfers never observe the workers' writes.
+    pub fn split_shards_mut(&mut self) -> (Vec<&mut StoreShard>, &StoreShard) {
+        (
+            self.accounts.iter_mut().map(Arc::make_mut).collect(),
+            &self.shared,
+        )
     }
 }
 

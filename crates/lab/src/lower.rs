@@ -25,7 +25,7 @@
 use crate::spec::{parse_axis, Axis, AxisKey, AxisValues, Params, Spec, SpecError, SweepSpec};
 use orthrus_core::Scenario;
 use orthrus_sim::FaultPlan;
-use orthrus_types::{Duration, ReplicaId, SimTime};
+use orthrus_types::{Duration, ExecutionMode, ReplicaId, SimTime};
 use orthrus_workload::WorkloadConfig;
 
 /// Whether to lower the spec's reduced (default) or full-scale grid.
@@ -97,7 +97,17 @@ fn params_to_scenario(params: &Params) -> Result<Scenario, SpecError> {
         scenario.config.max_inflight_blocks = depth;
     }
     if let Some(enabled) = params.parallel_execution {
-        scenario.config.parallel_execution = enabled;
+        // Boolean shorthand: `true` is the soaked sharded default, `false`
+        // the serial reference walk. An explicit `execution_mode` (applied
+        // below) always wins over the shorthand.
+        scenario.config.execution_mode = if enabled {
+            ExecutionMode::ShardedDemotion
+        } else {
+            ExecutionMode::Serial
+        };
+    }
+    if let Some(mode) = params.execution_mode {
+        scenario.config.execution_mode = mode;
     }
     if let Some(enabled) = params.checkpoint_gc {
         scenario.config.checkpoint_gc = enabled;
@@ -201,6 +211,7 @@ fn x_from_params(key: AxisKey, params: &Params) -> Option<f64> {
         AxisKey::SelfishCount => params.selfish_count.map(f64::from),
         AxisKey::ZipfExponent => params.zipf_exponent,
         AxisKey::MaxInflightBlocks => params.max_inflight_blocks.map(|d| d as f64),
+        AxisKey::ExecutionMode => None,
     }
 }
 
@@ -260,6 +271,10 @@ fn apply_axis_value(
         (AxisKey::MaxInflightBlocks, AxisValues::Ints(list)) => {
             params.max_inflight_blocks = Some(list[index]);
             Ok(Some(list[index] as f64))
+        }
+        (AxisKey::ExecutionMode, AxisValues::Modes(list)) => {
+            params.execution_mode = Some(list[index]);
+            Ok(None)
         }
         (key, _) => Err(SpecError::general(format!(
             "axis {} carries values of the wrong type",
@@ -334,14 +349,21 @@ impl Spec {
                     }
                     combos = next;
                 }
+                // A mode axis produces series that differ only in how plogs
+                // execute, so the default label must carry the mode or the
+                // series would collide under one name.
+                let has_mode_axis = axes.iter().any(|axis| axis.key == AxisKey::ExecutionMode);
                 combos
                     .into_iter()
                     .map(|(params, axis_x)| {
                         let scenario = params_to_scenario(&params)?;
-                        let label = params
-                            .label
-                            .clone()
-                            .unwrap_or_else(|| scenario.protocol.label().to_string());
+                        let label = params.label.clone().unwrap_or_else(|| {
+                            let base = scenario.protocol.label().to_string();
+                            match params.execution_mode {
+                                Some(mode) if has_mode_axis => format!("{base} [{}]", mode.name()),
+                                _ => base,
+                            }
+                        });
                         let x = params
                             .x
                             .or(axis_x)

@@ -50,6 +50,7 @@ pub const ENTRIES: &[RegistryEntry] = &[
     entry!("ablation_global_ordering"),
     entry!("ablation_multi_payer"),
     entry!("ablation_hot_account"),
+    entry!("ablation_stm_contention"),
     entry!("ablation_inflight"),
     entry!("recovery_smoke"),
     entry!("recovery_protocols"),

@@ -27,7 +27,7 @@
 
 use orthrus_core::StopCondition;
 use orthrus_sim::QueueKind;
-use orthrus_types::{NetworkKind, ProtocolKind};
+use orthrus_types::{ExecutionMode, NetworkKind, ProtocolKind};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -165,6 +165,9 @@ pub struct Params {
     pub max_inflight_blocks: Option<u64>,
     /// `parallel_execution = true | false`
     pub parallel_execution: Option<bool>,
+    /// `execution_mode = serial | sharded | stm` (wins over the
+    /// `parallel_execution` boolean shorthand when both are set)
+    pub execution_mode: Option<ExecutionMode>,
     /// `checkpoint_gc = true | false`
     pub checkpoint_gc: Option<bool>,
     /// `queue = heap | calendar`
@@ -242,11 +245,14 @@ pub enum AxisKey {
     /// (`ProtocolConfig::max_inflight_blocks`) — the adaptive-batching sweep
     /// axis.
     MaxInflightBlocks,
+    /// Partial-log execution mode (not usable as `x_axis`; series axis for
+    /// the STM contention ablation).
+    ExecutionMode,
 }
 
 impl AxisKey {
     /// All axis keys (used by the parser and lint diagnostics).
-    pub const ALL: [AxisKey; 9] = [
+    pub const ALL: [AxisKey; 10] = [
         AxisKey::Protocol,
         AxisKey::Replicas,
         AxisKey::Seed,
@@ -256,6 +262,7 @@ impl AxisKey {
         AxisKey::SelfishCount,
         AxisKey::ZipfExponent,
         AxisKey::MaxInflightBlocks,
+        AxisKey::ExecutionMode,
     ];
 
     /// Stable spec-file name of the axis.
@@ -270,6 +277,7 @@ impl AxisKey {
             AxisKey::SelfishCount => "selfish_count",
             AxisKey::ZipfExponent => "zipf_exponent",
             AxisKey::MaxInflightBlocks => "max_inflight_blocks",
+            AxisKey::ExecutionMode => "execution_mode",
         }
     }
 
@@ -289,12 +297,15 @@ pub struct Axis {
 }
 
 /// Axis values, typed per [`AxisKey`]: `protocol` takes protocol names,
-/// `zipf_exponent` takes floats, every other axis takes unsigned integers
-/// (written as a comma list or, for seeds, a `start..=end` range).
+/// `execution_mode` takes mode names, `zipf_exponent` takes floats, every
+/// other axis takes unsigned integers (written as a comma list or, for
+/// seeds, a `start..=end` range).
 #[derive(Debug, Clone, PartialEq)]
 pub enum AxisValues {
     /// Protocol names (the `protocol` axis).
     Protocols(Vec<ProtocolKind>),
+    /// Execution-mode names (the `execution_mode` axis).
+    Modes(Vec<ExecutionMode>),
     /// Unsigned integers (every numeric axis except `zipf_exponent`).
     Ints(Vec<u64>),
     /// Floats (the `zipf_exponent` axis).
@@ -306,6 +317,7 @@ impl AxisValues {
     pub fn len(&self) -> usize {
         match self {
             AxisValues::Protocols(v) => v.len(),
+            AxisValues::Modes(v) => v.len(),
             AxisValues::Ints(v) => v.len(),
             AxisValues::Floats(v) => v.len(),
         }
@@ -364,6 +376,15 @@ fn parse_queue(value: &str, line: usize) -> Result<QueueKind, SpecError> {
             format!("unknown queue {value:?} (heap|calendar)"),
         )),
     }
+}
+
+fn parse_execution_mode(value: &str, line: usize) -> Result<ExecutionMode, SpecError> {
+    ExecutionMode::from_name(value).ok_or_else(|| {
+        SpecError::at(
+            line,
+            format!("unknown execution_mode {value:?} (serial|sharded|stm)"),
+        )
+    })
 }
 
 fn parse_bool(value: &str, line: usize) -> Result<bool, SpecError> {
@@ -454,6 +475,7 @@ impl Params {
                 put!(max_inflight_blocks, parse_num(value, line, "depth")?)
             }
             "parallel_execution" => put!(parallel_execution, parse_bool(value, line)?),
+            "execution_mode" => put!(execution_mode, parse_execution_mode(value, line)?),
             "checkpoint_gc" => put!(checkpoint_gc, parse_bool(value, line)?),
             "queue" => put!(queue, parse_queue(value, line)?),
             "accounts" => put!(accounts, parse_num(value, line, "account count")?),
@@ -595,6 +617,11 @@ pub(crate) fn parse_axis(key: &str, value: &str, line: usize) -> Result<Axis, Sp
                 .map(|item| parse_protocol(item, line))
                 .collect::<Result<_, _>>()?,
         ),
+        AxisKey::ExecutionMode => AxisValues::Modes(
+            list_items(value)
+                .map(|item| parse_execution_mode(item, line))
+                .collect::<Result<_, _>>()?,
+        ),
         AxisKey::ZipfExponent => AxisValues::Floats(
             list_items(value)
                 .map(|item| parse_finite_f64(item, line, "exponent"))
@@ -717,8 +744,11 @@ pub fn parse(text: &str) -> Result<Spec, SpecError> {
                     }
                     let axis = AxisKey::from_name(value)
                         .ok_or_else(|| SpecError::at(line, format!("unknown x_axis {value:?}")))?;
-                    if axis == AxisKey::Protocol {
-                        return Err(SpecError::at(line, "x_axis = protocol is not numeric"));
+                    if axis == AxisKey::Protocol || axis == AxisKey::ExecutionMode {
+                        return Err(SpecError::at(
+                            line,
+                            format!("x_axis = {} is not numeric", axis.name()),
+                        ));
                     }
                     x_axis = Some(axis);
                 }
@@ -841,6 +871,9 @@ fn write_params(out: &mut String, params: &Params) {
     kv!("view_change_timeout_ms", params.view_change_timeout_ms);
     kv!("max_inflight_blocks", params.max_inflight_blocks);
     kv!("parallel_execution", params.parallel_execution);
+    if let Some(mode) = params.execution_mode {
+        let _ = writeln!(out, "execution_mode = {}", mode.name());
+    }
     kv!("checkpoint_gc", params.checkpoint_gc);
     if let Some(q) = params.queue {
         let _ = writeln!(
@@ -905,6 +938,7 @@ fn write_axis(out: &mut String, axis: &Axis) {
             .iter()
             .map(|p| protocol_name(*p).to_string())
             .collect::<Vec<_>>(),
+        AxisValues::Modes(list) => list.iter().map(|m| m.name().to_string()).collect(),
         AxisValues::Ints(list) => list.iter().map(u64::to_string).collect(),
         AxisValues::Floats(list) => list.iter().map(f64::to_string).collect(),
     };

@@ -23,6 +23,8 @@
 //! * [`rng`] — deterministic pseudo-random number generation (the workspace
 //!   builds offline, so it carries its own seeded generator instead of
 //!   depending on the `rand` crate).
+//! * [`hash`] — a seedless Fx hasher for the hot in-memory maps (faster and
+//!   run-to-run stable, unlike `std`'s keyed SipHash).
 //! * [`error`] — the common error type.
 
 #![deny(unsafe_code)]
@@ -33,8 +35,10 @@ pub mod checkpoint;
 pub mod config;
 pub mod crypto;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod object;
+pub mod pool;
 pub mod rng;
 pub mod state;
 pub mod time;
@@ -42,9 +46,10 @@ pub mod transaction;
 
 pub use block::{Block, BlockHeader, BlockId, BlockParams, SharedBlock};
 pub use checkpoint::{CheckpointProof, StableCheckpoint};
-pub use config::{NetworkKind, ProtocolConfig, ProtocolKind};
+pub use config::{ExecutionMode, NetworkKind, ProtocolConfig, ProtocolKind};
 pub use crypto::{Digest, KeyPair, PublicKey, Signature};
 pub use error::{OrthrusError, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, Epoch, InstanceId, ObjectKey, Rank, ReplicaId, SeqNum, TxId, View};
 pub use object::{Amount, Condition, ObjectOp, ObjectType, Operation, Value};
 pub use state::SystemState;

@@ -120,37 +120,39 @@ fn sweeps_are_deterministic_across_thread_counts() {
     }
 }
 
-/// Differential test for the sharded execution engine: enabling
-/// `parallel_execution` (shard-pool partial-log execution) must leave every
+/// Differential test for the parallel execution engines: both the sharded
+/// demotion scheduler and Block-STM optimistic execution must leave every
 /// protocol's trace bit-identical to the single-threaded reference path. The
 /// serial path never reads `ORTHRUS_SWEEP_THREADS`, so this equality — which
-/// CI checks under `ORTHRUS_SWEEP_THREADS ∈ {1, 4}` — also pins the parallel
-/// path across worker-pool widths.
+/// CI checks under `ORTHRUS_SWEEP_THREADS ∈ {1, 4}` — also pins both parallel
+/// paths across worker-pool widths.
 #[test]
 fn parallel_execution_matches_serial_for_every_protocol() {
     for protocol in ProtocolKind::ALL {
-        let run_with = |parallel: bool| {
+        let run_with = |mode: ExecutionMode| {
             let mut s = scenario(17);
             s.protocol = protocol;
-            s.config.parallel_execution = parallel;
+            s.config.execution_mode = mode;
             run(&s)
         };
-        let serial = run_with(false);
-        let parallel = run_with(true);
-        assert_eq!(
-            fingerprint(&serial),
-            fingerprint(&parallel),
-            "{protocol} diverged across execution modes"
-        );
-        assert_eq!(
-            serial.avg_latency, parallel.avg_latency,
-            "{protocol} latency trace diverged"
-        );
-        assert_eq!(
-            serial.report, parallel.report,
-            "{protocol} simulation report diverged"
-        );
-        assert_eq!(serial.shard_ops, parallel.shard_ops);
+        let serial = run_with(ExecutionMode::Serial);
+        for mode in [ExecutionMode::ShardedDemotion, ExecutionMode::OptimisticStm] {
+            let parallel = run_with(mode);
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&parallel),
+                "{protocol} diverged between serial and {mode}"
+            );
+            assert_eq!(
+                serial.avg_latency, parallel.avg_latency,
+                "{protocol} latency trace diverged under {mode}"
+            );
+            assert_eq!(
+                serial.report, parallel.report,
+                "{protocol} simulation report diverged under {mode}"
+            );
+            assert_eq!(serial.shard_ops, parallel.shard_ops);
+        }
         assert_eq!(
             serial.confirmed, serial.submitted,
             "{protocol} must complete"

@@ -12,9 +12,17 @@
 //! * executing a partial-log schedule through the shard pool is bit-identical
 //!   to the single-threaded reference walk — same outcomes, same digests,
 //!   same counts — for any thread count;
-//! * at the scenario level, `parallel_execution` on/off produces identical
-//!   traces for all six protocols, including crash and straggler scenarios,
-//!   and conserves token supply.
+//! * the Block-STM optimistic engine (`execution_mode = stm`) lands on the
+//!   same bit-identical result — outcomes, digests, per-shard op counts —
+//!   from speculative execution plus trace validation, again for any thread
+//!   count, and replaying a schedule through it is idempotent;
+//! * executor snapshots (`Executor::clone`, the payload of checkpoint and
+//!   crash-recovery state transfer) are copy-on-write: post-snapshot writes
+//!   by the live executor never leak into an in-flight snapshot;
+//! * at the scenario level, all three execution modes (serial reference,
+//!   sharded demotion, optimistic STM) produce identical traces for all six
+//!   protocols on uniform and hot-account (zipf 1.4) workloads, including
+//!   straggler and crash-recovery scenarios, and conserve token supply.
 
 use orthrus::prelude::*;
 use orthrus_core::parallel_for_mut;
@@ -288,6 +296,133 @@ fn reprocessing_a_schedule_is_idempotent() {
     }
 }
 
+/// The Block-STM engine against the serial reference walk: for random mixed
+/// schedules (payments, cross-instance multi-payer payments, contracts) the
+/// optimistic execute/validate/commit pipeline must land on bit-identical
+/// outcomes, digests, counters and per-shard op counts at any thread count.
+#[test]
+fn stm_schedule_matches_serial_reference_walk() {
+    for seed in 0u64..15 {
+        let m = [4u32, 8][seed as usize % 2];
+        let accounts = 48;
+        let (schedule, txs) = random_schedule(seed, m, accounts, 180);
+        let assign = move |key: ObjectKey| InstanceId::new(key.shard(m));
+
+        let mut reference = executor_for(m, accounts);
+        let mut ref_outcomes = Vec::new();
+        for (instance, block) in &schedule {
+            for tx in &block.txs {
+                ref_outcomes.push((tx.id, reference.process_plog_tx(tx, *instance, &assign)));
+            }
+        }
+
+        for threads in [1usize, 4] {
+            let mut stm = executor_for(m, accounts);
+            let (outcomes, stats) =
+                stm.process_plog_schedule_stm_with_stats(&schedule, &assign, threads);
+            assert_eq!(outcomes, ref_outcomes, "seed {seed} threads {threads}");
+            assert_eq!(
+                stm.state_digest(),
+                reference.state_digest(),
+                "seed {seed} threads {threads}: STM digest diverged"
+            );
+            assert_eq!(stm.state_digest(), stm.store().rescan_digest());
+            assert_eq!(stm.committed_count(), reference.committed_count());
+            assert_eq!(stm.aborted_count(), reference.aborted_count());
+            assert_eq!(stm.total_supply(), reference.total_supply());
+            assert_eq!(stm.escrow_log().len(), reference.escrow_log().len());
+            assert_eq!(
+                stm.store().shard_op_counts(),
+                reference.store().shard_op_counts(),
+                "seed {seed} threads {threads}: coalesced commit broke op counts"
+            );
+            assert!(stats.reexecutions <= stats.occurrences);
+            assert_eq!(stats.occurrences as usize, ref_outcomes.len());
+            for tx in &txs {
+                assert_eq!(stm.outcome(tx.id), reference.outcome(tx.id), "seed {seed}");
+            }
+        }
+    }
+}
+
+/// Re-delivering a schedule to the STM engine (recovery replay) must be
+/// idempotent: known outcomes short-circuit speculation, pending contract
+/// escrows validate as already-held, and no state moves.
+#[test]
+fn stm_reprocessing_a_schedule_is_idempotent() {
+    let m = 4;
+    let (schedule, _) = random_schedule(77, m, 32, 100);
+    let assign = move |key: ObjectKey| InstanceId::new(key.shard(m));
+    let mut exec = executor_for(m, 32);
+    exec.process_plog_schedule_stm(&schedule, &assign, 3);
+    let digest = exec.state_digest();
+    let committed = exec.committed_count();
+    let supply = exec.total_supply();
+    let replay = exec.process_plog_schedule_stm(&schedule, &assign, 3);
+    assert_eq!(exec.state_digest(), digest);
+    assert_eq!(exec.committed_count(), committed);
+    assert_eq!(exec.total_supply(), supply);
+    let mut replayed = replay.iter();
+    for (_, block) in &schedule {
+        for tx in &block.txs {
+            let (id, outcome) = replayed.next().unwrap();
+            assert_eq!(*id, tx.id);
+            if tx.is_payment() {
+                assert!(outcome.is_some(), "payment {id} lost its outcome on replay");
+            }
+        }
+    }
+}
+
+/// Executor snapshots are copy-on-write (`Arc` per shard and outcome map):
+/// the clone a checkpoint or crash-recovery state transfer holds must stay
+/// frozen while the live executor keeps executing — a post-snapshot write
+/// leaking into an in-flight transfer would hand the recovering replica a
+/// state it never agreed on.
+#[test]
+fn snapshot_clone_is_isolated_from_post_snapshot_writes() {
+    let m = 4;
+    let (schedule, _) = random_schedule(3, m, 32, 120);
+    let assign = move |key: ObjectKey| InstanceId::new(key.shard(m));
+    let mut exec = executor_for(m, 32);
+    exec.process_plog_schedule_stm(&schedule, &assign, 2);
+
+    // The in-flight transfer payload.
+    let snapshot = exec.clone();
+    let digest = snapshot.state_digest();
+    let committed = snapshot.committed_count();
+    let aborted = snapshot.aborted_count();
+    let supply = snapshot.total_supply();
+    let escrows = snapshot.escrow_log().len();
+
+    // The live executor moves on: fresh accounts, credits, debits and a
+    // payment confirmation touching several shards.
+    exec.store_mut().create_account(account(900), 1_000);
+    for c in 0..8u64 {
+        let _ = exec.store_mut().credit(account(c), 17);
+    }
+    let _ = exec.store_mut().debit(account(0), 5);
+    let late = Transaction::payment(
+        TxId::new(ClientId::new(9_999), 1 << 32),
+        ClientId::new(900),
+        ClientId::new(901),
+        40,
+    );
+    exec.process_plog_tx(&late, assign(account(900)), &assign);
+    assert_ne!(exec.state_digest(), digest, "the live executor must move");
+    assert!(exec.committed_count() > committed);
+
+    // The snapshot still shows exactly the pre-snapshot state.
+    assert_eq!(snapshot.state_digest(), digest);
+    assert_eq!(snapshot.store().rescan_digest(), digest);
+    assert_eq!(snapshot.committed_count(), committed);
+    assert_eq!(snapshot.aborted_count(), aborted);
+    assert_eq!(snapshot.total_supply(), supply);
+    assert_eq!(snapshot.escrow_log().len(), escrows);
+    assert_eq!(snapshot.outcome(late.id), None);
+    assert_eq!(snapshot.store().balance(account(900)), 0);
+}
+
 // ----------------------------------------------------------------------
 // Scenario level: parallel_execution on/off across protocols and faults
 // ----------------------------------------------------------------------
@@ -379,6 +514,85 @@ fn parallel_execution_is_bit_identical_under_faults() {
             fingerprint(&crash_serial),
             fingerprint(&crash_parallel),
             "{protocol} diverged under a crash"
+        );
+    }
+}
+
+/// All three execution modes are bit-identical for every protocol on both a
+/// uniform and a hot-account (zipf 1.4) workload — the optimistic STM engine
+/// must be indistinguishable from the serial reference walk and the demotion
+/// scheduler in everything but wall-clock.
+#[test]
+fn optimistic_stm_is_bit_identical_for_all_protocols() {
+    for protocol in ProtocolKind::ALL {
+        for hot in [false, true] {
+            let scenario_for = |mode: ExecutionMode| {
+                let mut scenario = base_scenario(protocol, 12).with_execution_mode(mode);
+                if hot {
+                    scenario.workload = scenario.workload.with_zipf_exponent(1.4);
+                }
+                scenario
+            };
+            let label = if hot { "zipf-1.4" } else { "uniform" };
+            let serial = run(&scenario_for(ExecutionMode::Serial));
+            let demotion = run(&scenario_for(ExecutionMode::ShardedDemotion));
+            let stm = run(&scenario_for(ExecutionMode::OptimisticStm));
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&stm),
+                "{protocol} ({label}): STM diverged from the serial reference"
+            );
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&demotion),
+                "{protocol} ({label}): demotion diverged from the serial reference"
+            );
+            assert_eq!(serial.avg_latency, stm.avg_latency, "{protocol} ({label})");
+            assert_eq!(serial.report, stm.report, "{protocol} ({label})");
+            assert_eq!(serial.shard_ops, stm.shard_ops, "{protocol} ({label})");
+            assert_eq!(serial.shard_objects, stm.shard_objects, "{protocol}");
+            assert_eq!(serial.confirmed, serial.submitted, "{protocol} ({label})");
+        }
+    }
+}
+
+/// STM bit-identity must survive the paper's fault scenarios: a 10× straggler
+/// leader and a replica that crashes and later recovers through checkpoint
+/// state transfer (whose payload is a COW executor snapshot).
+#[test]
+fn optimistic_stm_is_bit_identical_under_faults() {
+    let recover_plan = || {
+        FaultPlan::none().with_crash_recover(
+            ReplicaId::new(2),
+            SimTime::ZERO + Duration::from_millis(250),
+            SimTime::ZERO + Duration::from_millis(600),
+        )
+    };
+    for protocol in [
+        ProtocolKind::Orthrus,
+        ProtocolKind::Ladon,
+        ProtocolKind::Iss,
+    ] {
+        let straggler = |mode: ExecutionMode| {
+            run(&base_scenario(protocol, 9)
+                .with_straggler()
+                .with_execution_mode(mode))
+        };
+        assert_eq!(
+            fingerprint(&straggler(ExecutionMode::Serial)),
+            fingerprint(&straggler(ExecutionMode::OptimisticStm)),
+            "{protocol} STM diverged under a straggler"
+        );
+
+        let recover = |mode: ExecutionMode| {
+            run(&base_scenario(protocol, 11)
+                .with_faults(recover_plan())
+                .with_execution_mode(mode))
+        };
+        assert_eq!(
+            fingerprint(&recover(ExecutionMode::Serial)),
+            fingerprint(&recover(ExecutionMode::OptimisticStm)),
+            "{protocol} STM diverged under crash-recovery"
         );
     }
 }

@@ -125,6 +125,10 @@ fn random_params(rng: &mut StdRng, protocol_required: bool) -> Params {
         params.parallel_execution = Some(rng.gen_bool(0.5));
     }
     if rng.gen_bool(0.3) {
+        params.execution_mode =
+            Some(ExecutionMode::ALL[rng.gen_range(0..ExecutionMode::ALL.len() as u64) as usize]);
+    }
+    if rng.gen_bool(0.3) {
         params.queue = Some(if rng.gen_bool(0.5) {
             QueueKind::Heap
         } else {
@@ -215,6 +219,13 @@ fn random_axis(rng: &mut StdRng, key: AxisKey) -> Axis {
                 .map(|_| ProtocolKind::ALL[rng.gen_range(0..6) as usize])
                 .collect(),
         ),
+        AxisKey::ExecutionMode => AxisValues::Modes(
+            (0..count)
+                .map(|_| {
+                    ExecutionMode::ALL[rng.gen_range(0..ExecutionMode::ALL.len() as u64) as usize]
+                })
+                .collect(),
+        ),
         AxisKey::ZipfExponent => {
             AxisValues::Floats((0..count).map(|_| rng.gen_range(0.0..2.0)).collect())
         }
@@ -249,7 +260,10 @@ fn randomized_specs_round_trip_exactly() {
                 .iter()
                 .map(|&key| random_axis(&mut rng, key))
                 .collect();
-            let x_axis = axes.iter().map(|a| a.key).find(|&k| k != AxisKey::Protocol);
+            let x_axis = axes
+                .iter()
+                .map(|a| a.key)
+                .find(|&k| k != AxisKey::Protocol && k != AxisKey::ExecutionMode);
             let full_scale = if rng.gen_bool(0.5) {
                 vec![
                     (
