@@ -136,6 +136,12 @@ pub struct MeasuredPoint {
     pub retained_plog_entries: u64,
     /// Peak retained partial/global-log bytes over the run (replica 0).
     pub peak_retained_bytes: u64,
+    /// Mean time (µs) a globally confirmed block waited in the glog pending
+    /// region before executing (all replicas pooled). Quantifies the §V-C
+    /// alignment stall for Orthrus; queueing only for the baselines.
+    pub glog_wait_mean_us: f64,
+    /// Worst single glog wait (µs) on any replica.
+    pub glog_wait_max_us: u64,
 }
 
 /// Imbalance of the per-shard op counters (`MeasuredPoint::shard_ops`
@@ -214,6 +220,8 @@ impl MeasuredPoint {
             shard_ops: outcome.shard_ops.clone(),
             retained_plog_entries: outcome.retained_plog_entries,
             peak_retained_bytes: outcome.peak_retained_bytes,
+            glog_wait_mean_us: outcome.glog_wait_mean_us,
+            glog_wait_max_us: outcome.glog_wait_max_us,
         }
     }
 
@@ -228,7 +236,8 @@ impl MeasuredPoint {
                 "\"bytes_sent\":{},\"events_processed\":{},",
                 "\"peak_queue_len\":{},\"wall_clock_ms\":{:.3},",
                 "\"shard_objects\":{},\"shard_ops\":{},",
-                "\"retained_plog_entries\":{},\"peak_retained_bytes\":{}}}"
+                "\"retained_plog_entries\":{},\"peak_retained_bytes\":{},",
+                "\"glog_wait_mean_us\":{:.3},\"glog_wait_max_us\":{}}}"
             ),
             escape_json(&self.protocol),
             self.x,
@@ -245,6 +254,8 @@ impl MeasuredPoint {
             json_u64_array(&self.shard_ops),
             self.retained_plog_entries,
             self.peak_retained_bytes,
+            self.glog_wait_mean_us,
+            self.glog_wait_max_us,
         )
     }
 }
@@ -532,6 +543,8 @@ mod tests {
             shard_ops: vec![100, 90, 4],
             retained_plog_entries: 17,
             peak_retained_bytes: 4_096,
+            glog_wait_mean_us: 42.5,
+            glog_wait_max_us: 120,
         };
         let doc = series_json("fig_test", "replicas", &[point.clone(), point]);
         // Structural sanity without a JSON parser: balanced braces/brackets,
@@ -553,6 +566,8 @@ mod tests {
             "\"shard_ops\":[100,90,4]",
             "\"retained_plog_entries\":17",
             "\"peak_retained_bytes\":4096",
+            "\"glog_wait_mean_us\":42.500",
+            "\"glog_wait_max_us\":120",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }

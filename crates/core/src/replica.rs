@@ -18,11 +18,12 @@ use orthrus_ordering::{
 use orthrus_sb::{PbftConfig, PbftInstance, ProgressTracker, SbAction};
 use orthrus_sim::{Actor, Context, LatencyStage, NodeId};
 use orthrus_types::{
-    Block, BlockParams, Digest, Duration, Epoch, ExecutionMode, InstanceId, ProtocolConfig,
-    ProtocolKind, ReplicaId, SharedBlock, SharedTx, SimTime, StableCheckpoint, SystemState, TxId,
+    Block, BlockId, BlockParams, Digest, Duration, Epoch, ExecutionMode, InstanceId,
+    ProtocolConfig, ProtocolKind, ReplicaId, SharedBlock, SharedTx, SimTime, StableCheckpoint,
+    SystemState, TxId,
 };
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Timer tag base: leader batch timer (try to propose in every instance we
@@ -228,6 +229,11 @@ pub struct ReplicaNode {
     recovered_at: Option<SimTime>,
     /// Restart epoch carried in timer tags (see `TIMER_EPOCH_STRIDE`).
     timer_epoch: u64,
+    /// Virtual time each block entered the glog's pending region, keyed by
+    /// block id. Entries are removed when the block executes; the delta feeds
+    /// the per-run glog-wait statistics (how long global ordering stalls
+    /// behind partial-log execution under §V-C's alignment rule).
+    glog_appended_at: HashMap<BlockId, SimTime>,
 }
 
 impl ReplicaNode {
@@ -288,6 +294,7 @@ impl ReplicaNode {
             sync_round: 0,
             recovered_at: None,
             timer_epoch: 0,
+            glog_appended_at: HashMap::new(),
             config,
         }
     }
@@ -683,7 +690,11 @@ impl ReplicaNode {
         confirmed: Vec<SharedBlock>,
         ctx: &mut Context<'_, NetMessage>,
     ) {
+        let now = ctx.now();
         for block in confirmed {
+            // `or_insert` (not overwrite): duplicate global confirmations of
+            // the same block must not reset the wait clock.
+            self.glog_appended_at.entry(block.id()).or_insert(now);
             self.glog.append(block);
         }
         self.process_global_log(ctx);
@@ -715,6 +726,10 @@ impl ReplicaNode {
                 break;
             }
             let block = self.glog.pop_pending().expect("first_pending was Some");
+            if let Some(appended) = self.glog_appended_at.remove(&block.id()) {
+                let wait = ctx.now() - appended;
+                ctx.stats().glog_wait(wait);
+            }
             for tx in &block.txs {
                 let outcome = match self.protocol {
                     ProtocolKind::Orthrus => {

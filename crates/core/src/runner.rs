@@ -29,8 +29,8 @@ use orthrus_sim::{
     FaultPlan, NetworkConfig, NodeId, QueueKind, Simulation, SimulationReport, ThroughputPoint,
 };
 use orthrus_types::{
-    Digest, Duration, ExecutionMode, NetworkKind, OrthrusError, ProtocolConfig, ProtocolKind,
-    ReplicaId, Result, SharedTx, SimTime,
+    Digest, Duration, EngineMode, ExecutionMode, NetworkKind, OrthrusError, ProtocolConfig,
+    ProtocolKind, ReplicaId, Result, SharedTx, SimTime,
 };
 use orthrus_workload::{Workload, WorkloadConfig};
 use std::sync::Arc;
@@ -137,6 +137,12 @@ pub struct Scenario {
     /// Event-queue implementation the simulation runs on. Both kinds produce
     /// bit-identical traces; differential tests drive both.
     pub queue: QueueKind,
+    /// Simulation-engine mode: the serial reference walk or the conservative
+    /// time-window parallel scheduler. Both produce bit-identical reports and
+    /// outcomes (the differential tests pin this); the choice only changes
+    /// wall-clock. The parallel engine's thread count comes from the same
+    /// `ORTHRUS_SWEEP_THREADS` knob as the sweep pool.
+    pub engine_mode: EngineMode,
     /// When the run may stop (see [`StopCondition`]).
     pub stop: Vec<StopCondition>,
 }
@@ -156,6 +162,7 @@ impl Scenario {
             max_sim_time: Duration::from_secs(120),
             seed: 42,
             queue: QueueKind::default(),
+            engine_mode: EngineMode::default(),
             stop: StopCondition::DEFAULT.to_vec(),
         }
     }
@@ -273,6 +280,14 @@ impl Scenario {
     /// Block-STM optimistic execution.
     pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
         self.config.execution_mode = mode;
+        self
+    }
+
+    /// Select the simulation engine (`Scenario::engine_mode`): the serial
+    /// reference walk or the conservative time-window parallel scheduler.
+    /// Bit-identical either way; parallel only changes wall-clock.
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
         self
     }
 
@@ -407,6 +422,16 @@ pub struct ScenarioOutcome {
     /// Every replica that completed crash recovery, with the virtual time
     /// its first state transfer was installed.
     pub recoveries: Vec<(ReplicaId, SimTime)>,
+    /// Mean time (µs) a globally confirmed block waited in the glog pending
+    /// region before executing, across all replicas. Under Orthrus this is
+    /// the §V-C alignment stall (glog entries wait for their own partial-log
+    /// execution); baselines execute in glog order so their wait is queueing
+    /// only.
+    pub glog_wait_mean_us: f64,
+    /// Worst single glog wait (µs) observed on any replica.
+    pub glog_wait_max_us: u64,
+    /// Number of glog pop events that contributed a wait sample.
+    pub glog_wait_count: u64,
     /// Raw simulation report (events, messages, bytes).
     pub report: SimulationReport,
 }
@@ -439,6 +464,12 @@ pub fn build_simulation(scenario: &Scenario) -> Result<(Simulation<NetMessage>, 
         scenario.seed,
         scenario.queue,
     );
+    if scenario.engine_mode == EngineMode::Parallel {
+        // Same thread knob as the sweep pool; gating is on the *requested*
+        // count so single-core CI still exercises the windowed code path
+        // (`parallel_for_mut` degrades to a serial loop internally).
+        sim.set_parallel_engine(sweep_threads());
+    }
 
     // Replicas must agree with the runner on the logical-client → client-actor
     // mapping so they can route replies.
@@ -613,6 +644,9 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
         peak_retained_entries,
         peak_retained_bytes,
         recoveries,
+        glog_wait_mean_us: stats.glog_wait_mean_us(),
+        glog_wait_max_us: stats.glog_wait_max_us,
+        glog_wait_count: stats.glog_wait_count,
         report: orthrus_sim::SimulationReport {
             end_time: sim.now(),
             events_processed: last_report.events_processed,

@@ -115,6 +115,9 @@ fn params_to_scenario(params: &Params) -> Result<Scenario, SpecError> {
     if let Some(queue) = params.queue {
         scenario.queue = queue;
     }
+    if let Some(mode) = params.engine_mode {
+        scenario.engine_mode = mode;
+    }
     if let Some(accounts) = params.accounts {
         scenario.workload.num_accounts = accounts;
     }

@@ -37,6 +37,7 @@ macro_rules! entry {
 /// All checked-in specs, in presentation order.
 pub const ENTRIES: &[RegistryEntry] = &[
     entry!("quickstart"),
+    entry!("fig3_smoke"),
     entry!("fig3ab_wan_no_straggler"),
     entry!("fig3cd_wan_straggler"),
     entry!("fig4ab_lan_no_straggler"),

@@ -27,7 +27,7 @@
 
 use orthrus_core::StopCondition;
 use orthrus_sim::QueueKind;
-use orthrus_types::{ExecutionMode, NetworkKind, ProtocolKind};
+use orthrus_types::{EngineMode, ExecutionMode, NetworkKind, ProtocolKind};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -172,6 +172,10 @@ pub struct Params {
     pub checkpoint_gc: Option<bool>,
     /// `queue = heap | calendar`
     pub queue: Option<QueueKind>,
+    /// `engine_mode = serial | parallel` — simulation engine: the serial
+    /// reference walk or the conservative time-window parallel scheduler
+    /// (bit-identical outcomes; parallel only changes wall-clock)
+    pub engine_mode: Option<EngineMode>,
     /// `accounts = <u64>`
     pub accounts: Option<u64>,
     /// `transactions = <usize>`
@@ -387,6 +391,15 @@ fn parse_execution_mode(value: &str, line: usize) -> Result<ExecutionMode, SpecE
     })
 }
 
+fn parse_engine_mode(value: &str, line: usize) -> Result<EngineMode, SpecError> {
+    EngineMode::from_name(value).ok_or_else(|| {
+        SpecError::at(
+            line,
+            format!("unknown engine_mode {value:?} (serial|parallel)"),
+        )
+    })
+}
+
 fn parse_bool(value: &str, line: usize) -> Result<bool, SpecError> {
     match value {
         "true" => Ok(true),
@@ -478,6 +491,7 @@ impl Params {
             "execution_mode" => put!(execution_mode, parse_execution_mode(value, line)?),
             "checkpoint_gc" => put!(checkpoint_gc, parse_bool(value, line)?),
             "queue" => put!(queue, parse_queue(value, line)?),
+            "engine_mode" => put!(engine_mode, parse_engine_mode(value, line)?),
             "accounts" => put!(accounts, parse_num(value, line, "account count")?),
             "transactions" => put!(transactions, parse_num(value, line, "transaction count")?),
             "payment_share" => put!(payment_share, parse_finite_f64(value, line, "share")?),
@@ -884,6 +898,9 @@ fn write_params(out: &mut String, params: &Params) {
                 QueueKind::Calendar => "calendar",
             }
         );
+    }
+    if let Some(mode) = params.engine_mode {
+        let _ = writeln!(out, "engine_mode = {}", mode.name());
     }
     kv!("accounts", params.accounts);
     kv!("transactions", params.transactions);

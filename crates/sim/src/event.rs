@@ -407,6 +407,54 @@ impl<E> EventQueue<E> {
     pub fn peak_len(&self) -> usize {
         self.peak_len
     }
+
+    /// The sequence number the next scheduled event will receive.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Remove every entry with `time < limit`, in exact pop order, returning
+    /// the raw `(time, seq, payload)` triples. Unlike [`EventQueue::pop`]
+    /// this does NOT touch the processed counter: the parallel engine drains
+    /// a window to plan it, re-inserts the entries verbatim via
+    /// [`EventQueue::restore`], and then replays them through the normal pop
+    /// path — which is where the counters (and `peak_len`) must move, so the
+    /// round trip is invisible in the queue statistics.
+    pub(crate) fn drain_upto(&mut self, limit: SimTime) -> Vec<(SimTime, u64, E)> {
+        let mut out = Vec::new();
+        if limit.0 == 0 {
+            return out;
+        }
+        let below = SimTime(limit.0 - 1);
+        loop {
+            let entry = match &mut self.core {
+                Core::Heap(heap) => match heap.peek() {
+                    None => break,
+                    Some(e) if e.time > below => break,
+                    Some(_) => heap.pop().expect("peeked entry exists"),
+                },
+                Core::Calendar(cal) => match cal.pop_before(below) {
+                    Ok(entry) => entry,
+                    Err(_) => break,
+                },
+            };
+            out.push((entry.time, entry.seq, entry.payload));
+        }
+        out
+    }
+
+    /// Re-insert entries previously removed by [`EventQueue::drain_upto`]
+    /// with their original `(time, seq)` keys, bypassing the scheduled/peak
+    /// bookkeeping (the entries were already counted when first scheduled).
+    pub(crate) fn restore(&mut self, entries: Vec<(SimTime, u64, E)>) {
+        for (time, seq, payload) in entries {
+            let entry = Entry { time, seq, payload };
+            match &mut self.core {
+                Core::Heap(heap) => heap.push(entry),
+                Core::Calendar(cal) => cal.insert(entry),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -604,6 +652,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn drain_and_restore_round_trip_is_invisible() {
+        for kind in BOTH {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..50u64 {
+                q.schedule(SimTime::from_micros(i % 7), i);
+            }
+            let scheduled = q.total_scheduled();
+            let peak = q.peak_len();
+            // Drain strictly below 5 µs: pop order must match (time, seq).
+            let drained = q.drain_upto(SimTime::from_micros(5));
+            let mut last = (SimTime::ZERO, 0u64);
+            for &(time, seq, _) in &drained {
+                assert!(time < SimTime::from_micros(5));
+                assert!((time, seq) > last || last == (SimTime::ZERO, 0));
+                last = (time, seq);
+            }
+            assert_eq!(q.total_processed(), 0, "drain must not count as pops");
+            q.restore(drained);
+            assert_eq!(q.total_scheduled(), scheduled, "restore must not re-count");
+            assert_eq!(q.peak_len(), peak);
+            // The restored queue pops exactly like an untouched one.
+            let mut fresh = EventQueue::with_kind(kind);
+            for i in 0..50u64 {
+                fresh.schedule(SimTime::from_micros(i % 7), i);
+            }
+            loop {
+                let a = q.pop();
+                assert_eq!(a, fresh.pop());
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drain_upto_zero_is_a_no_op() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        q.schedule(SimTime::ZERO, 1u32);
+        assert!(q.drain_upto(SimTime::ZERO).is_empty());
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

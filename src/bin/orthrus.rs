@@ -193,6 +193,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
     let threads = threads.unwrap_or_else(sweep_threads);
+    // Publish the resolved count so every in-process consumer of
+    // `sweep_threads()` agrees with the CLI flag: the sweep pool, the
+    // replicas' plog execution pools, and the conservative-window parallel
+    // engine for scenarios with `engine_mode = parallel`.
+    std::env::set_var("ORTHRUS_SWEEP_THREADS", threads.to_string());
     let jobs: Vec<SweepJob> = points.into_iter().map(SweepJob::from).collect();
     let label = x_label(&spec);
     let title = spec.title().unwrap_or_else(|| spec.name());

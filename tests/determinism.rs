@@ -246,6 +246,122 @@ fn checkpoint_truncation_is_memory_only_for_every_protocol() {
     }
 }
 
+/// Differential test for the conservative time-window parallel *simulation*
+/// engine (not to be confused with parallel plog execution above): for every
+/// protocol, running the whole scenario on the windowed engine must be
+/// bit-identical to the serial event walk — same fingerprint, same latency
+/// trace, same `SimulationReport` (including `peak_queue_len`, which the
+/// drain/restore/replay cycle must reproduce without double-counting), and
+/// the same glog-wait statistics.
+///
+/// The engine resolves its thread count through `ORTHRUS_SWEEP_THREADS`; CI
+/// runs this suite at 1 and 4 threads. At 1 thread the parallel mode
+/// degrades to the serial walk (trivially equal); at 4 it exercises the
+/// window planner, the per-actor lanes and the barrier replay, and the
+/// serial engine never reads the knob — so the two CI legs together pin
+/// `parallel@4 == serial == parallel@1`.
+#[test]
+fn parallel_engine_matches_serial_for_every_protocol() {
+    for protocol in ProtocolKind::ALL {
+        let run_with = |mode: EngineMode| {
+            let mut s = scenario(31);
+            s.protocol = protocol;
+            s.engine_mode = mode;
+            run(&s)
+        };
+        let serial = run_with(EngineMode::Serial);
+        let parallel = run_with(EngineMode::Parallel);
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "{protocol} diverged between the serial and windowed engines"
+        );
+        assert_eq!(
+            serial.avg_latency, parallel.avg_latency,
+            "{protocol} latency trace diverged"
+        );
+        assert_eq!(
+            serial.report.peak_queue_len, parallel.report.peak_queue_len,
+            "{protocol}: peak_queue_len must survive the drain/replay cycle"
+        );
+        assert_eq!(
+            serial.report, parallel.report,
+            "{protocol} simulation report diverged"
+        );
+        assert!(
+            serial.glog_wait_count > 0,
+            "{protocol} must record glog-wait samples"
+        );
+        assert_eq!(
+            (
+                serial.glog_wait_count,
+                serial.glog_wait_max_us,
+                serial.glog_wait_mean_us.to_bits()
+            ),
+            (
+                parallel.glog_wait_count,
+                parallel.glog_wait_max_us,
+                parallel.glog_wait_mean_us.to_bits()
+            ),
+            "{protocol} glog-wait statistics diverged"
+        );
+        assert_eq!(
+            serial.confirmed, serial.submitted,
+            "{protocol} must complete"
+        );
+    }
+}
+
+/// Fault plans force the windowed engine back onto the serial walk for any
+/// window that overlaps a hazard (stragglers make per-node delivery bounds
+/// wrong; crashes and recoveries change who is running). The outcome must
+/// stay bit-identical anyway — for every protocol, under both the paper's
+/// straggler and a crash-recover fault.
+#[test]
+fn parallel_engine_matches_serial_under_faults_for_every_protocol() {
+    for protocol in ProtocolKind::ALL {
+        for fault in ["straggler", "crash_recover"] {
+            let run_with = |mode: EngineMode| {
+                let mut s = scenario(37);
+                s.protocol = protocol;
+                s.engine_mode = mode;
+                s = match fault {
+                    "straggler" => s.with_straggler(),
+                    _ => s.with_crash_recover(
+                        ReplicaId::new(2),
+                        SimTime::from_millis(150),
+                        SimTime::from_millis(2_000),
+                    ),
+                };
+                run(&s)
+            };
+            let serial = run_with(EngineMode::Serial);
+            let parallel = run_with(EngineMode::Parallel);
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&parallel),
+                "{protocol} with {fault} diverged between engines"
+            );
+            assert_eq!(
+                serial.avg_latency, parallel.avg_latency,
+                "{protocol} with {fault}: latency trace diverged"
+            );
+            assert_eq!(
+                serial.report, parallel.report,
+                "{protocol} with {fault}: simulation report diverged"
+            );
+            assert_eq!(
+                serial.recoveries, parallel.recoveries,
+                "{protocol} with {fault}: recovery timeline diverged"
+            );
+            assert_eq!(
+                serial.confirmed, serial.submitted,
+                "{protocol} with {fault} must complete"
+            );
+        }
+    }
+}
+
 #[test]
 fn determinism_holds_for_every_protocol() {
     for protocol in ProtocolKind::ALL {
