@@ -1,0 +1,351 @@
+//! A comment- and string-literal-aware line scanner for Rust sources.
+//!
+//! The analyzer's rules are textual, so the one thing the scanner must get
+//! right is *where code stops and prose begins*: a `HashMap` named in a doc
+//! comment, a `".unwrap()"` inside a string literal, or an `unsafe` in a
+//! `/* ... */` block must never trigger a rule. [`lex`] splits every source
+//! line into its code text (string and char literal *contents* blanked,
+//! comments removed) and its comment text (everything inside `//`, `///`,
+//! `//!` and `/* ... */`, which is where suppression annotations and
+//! `SAFETY:` justifications live).
+//!
+//! The scanner also marks `#[cfg(test)]` / `#[test]` regions by brace
+//! counting, so rules can skip test code: tests routinely seed throwaway
+//! RNGs and build scratch hash maps, and none of it ships in a run.
+//!
+//! This is a hand-rolled state machine, not a parser — the workspace is
+//! dependency-free by invariant, so `syn` is off the table. The states cover
+//! everything `rustfmt`-formatted code produces: line comments, nested block
+//! comments, string literals with escapes, raw strings with hash fences,
+//! byte strings, char literals, and the `'a`-lifetime-versus-`'a'`-char
+//! ambiguity.
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text: comments stripped, string/char literal contents blanked
+    /// (the delimiting quotes remain so expression structure is preserved).
+    pub code: String,
+    /// Comment text on this line (line and block comments, markers removed).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` or `#[test]` region.
+    pub is_test: bool,
+}
+
+/// Scanner state carried across characters (and lines, for multi-line
+/// constructs).
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Number of `#` in the fence of a raw string.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Is `c` part of an identifier?
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Split `source` into per-line code/comment channels and mark test regions.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let n = chars.len();
+    // Previous code character, for the raw-string-prefix / identifier-tail
+    // distinction (`r"..."` versus an identifier ending in `r`).
+    let mut prev_code: char = ' ';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied().unwrap_or(' ');
+                if c == '/' && next == '/' {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == '*' {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) string prefixes: r", r#", br", br#" — only when
+                // the `r` does not terminate a longer identifier.
+                if (c == 'r' || c == 'b') && !is_ident(prev_code) {
+                    let mut j = i;
+                    if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    if chars[j] == 'r' || c == 'b' {
+                        let mut hashes = 0u32;
+                        let mut k = j + 1;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if chars.get(k) == Some(&'"') && (chars[j] == 'r' || hashes == 0) {
+                            if chars[j] == 'r' {
+                                cur.code.push('"');
+                                prev_code = '"';
+                                state = State::RawStr(hashes);
+                                i = k + 1;
+                                continue;
+                            } else if c == 'b' && j == i {
+                                // b"..." plain byte string.
+                                cur.code.push('"');
+                                prev_code = '"';
+                                state = State::Str;
+                                i = k + 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                if c == '"' {
+                    cur.code.push('"');
+                    prev_code = '"';
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
+                    let is_char = if next == '\\' {
+                        true
+                    } else {
+                        // A char literal closes with a quote right after one
+                        // character; a lifetime never has a closing quote.
+                        chars.get(i + 2) == Some(&'\'') && next != '\''
+                    };
+                    if is_char {
+                        cur.code.push('\'');
+                        prev_code = '\'';
+                        state = State::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    // Lifetime: keep the quote so `<'a>` stays readable code.
+                    cur.code.push('\'');
+                    prev_code = '\'';
+                    i += 1;
+                    continue;
+                }
+                cur.code.push(c);
+                prev_code = c;
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied().unwrap_or(' ');
+                if c == '/' && next == '*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == '/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // A `\` line-continuation escape must not swallow the
+                    // newline, or every later diagnostic drifts by a line.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        lines.push(std::mem::take(&mut cur));
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    prev_code = '"';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        prev_code = '"';
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    prev_code = '\'';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Mark the body of every `#[cfg(test)]` / `#[test]` item by brace counting
+/// on the code channel. The attribute line arms a pending flag; the next
+/// opening brace opens the region; the brace that returns to the opening
+/// depth closes it. A `;` before any brace (e.g. `#[cfg(test)] mod tests;`)
+/// disarms — an out-of-line test module is a separate file this scanner sees
+/// on its own (and such files start with their own attribute in the parent,
+/// so their rules run as production code; in this workspace every test
+/// module is inline).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut close_at: Option<i64> = None;
+    let mut pending = false;
+    for line in lines.iter_mut() {
+        if close_at.is_none()
+            && !pending
+            && (line.code.contains("#[cfg(test)]") || line.code.contains("#[test]"))
+        {
+            pending = true;
+        }
+        let mut is_test = pending || close_at.is_some();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending && close_at.is_none() {
+                        close_at = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if close_at == Some(depth) {
+                        close_at = None;
+                        is_test = true;
+                    }
+                }
+                ';' if pending && close_at.is_none() => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        line.is_test = is_test || close_at.is_some();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_from_code() {
+        let lines = lex("let x = 1; // trailing HashMap mention\n/* block */ let y;\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("HashMap"));
+        assert_eq!(lines[1].code.trim(), "let y;");
+        assert!(lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = lex("let s = \"Instant::now() .unwrap()\"; s.len();\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let lines = lex(
+            "let a = r#\"unsafe \"quoted\" HashMap\"#;\nlet b = \"esc \\\" HashSet\";\nlet c = b\"bytes HashMap\";\n",
+        );
+        for line in &lines {
+            assert!(!line.code.contains("HashMap"), "{:?}", line.code);
+            assert!(!line.code.contains("HashSet"), "{:?}", line.code);
+            assert!(!line.code.contains("unsafe"), "{:?}", line.code);
+        }
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_blank() {
+        let lines = lex("fn f<'a>(x: &'a str) -> char { 'x' }\nlet y = '\\n';\n");
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(!lines[1].code.contains('n') || !lines[1].code.contains("\\n"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = lex("/* outer /* inner */ still comment */ let x;\n/* a\nb */ let y;\n");
+        assert_eq!(lines[0].code.trim(), "let x;");
+        assert!(lines[1].code.trim().is_empty());
+        assert_eq!(lines[2].code.trim(), "let y;");
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod2() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].is_test);
+        assert!(lines[1].is_test, "attribute line");
+        assert!(lines[2].is_test);
+        assert!(lines[3].is_test);
+        assert!(lines[4].is_test, "closing brace line");
+        assert!(!lines[5].is_test);
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        let src = "let s = \"first \\\n         second\";\nlet after = 1;\n";
+        let lines = lex(src);
+        assert_eq!(lines.len(), 3, "continuation must not swallow the newline");
+        assert!(lines[2].code.contains("after"));
+    }
+
+    #[test]
+    fn cfg_test_on_statement_does_not_poison_rest_of_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n";
+        let lines = lex(src);
+        assert!(!lines[2].is_test);
+    }
+}

@@ -216,6 +216,14 @@ struct SweepResult {
     threads: usize,
     serial_wall_ms: f64,
     parallel_wall_ms: f64,
+    /// Longest single scenario in the serial pass — the span of the sweep's
+    /// work-span model (no schedule can beat it).
+    span_ms: f64,
+    /// Greedy list-schedule makespan of the measured per-scenario times at
+    /// the fixed [`MODEL_WIDTH`], host-independent like the intra-run and
+    /// executor models (the CI box has one core, so walls under-report).
+    modeled_makespan_ms: f64,
+    modeled_speedup: f64,
     identical: bool,
 }
 
@@ -241,14 +249,38 @@ fn sweep_bench(scale: BenchScale) -> SweepResult {
         .collect();
     let threads = orthrus_core::sweep_threads().max(2);
 
+    // Serial pass, timed per scenario: the per-point times are the task
+    // durations the work-span model schedules below.
     let wall = Instant::now();
-    let serial = run_scenarios_with_threads(&scenarios, 1).expect("bench scenarios must validate");
+    let mut serial = Vec::with_capacity(scenarios.len());
+    let mut point_ms = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        let one = Instant::now();
+        serial.push(run_scenario(scenario).expect("bench scenarios must validate"));
+        point_ms.push(one.elapsed().as_secs_f64() * 1e3);
+    }
     let serial_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
     let wall = Instant::now();
     let parallel =
         run_scenarios_with_threads(&scenarios, threads).expect("bench scenarios must validate");
     let parallel_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    // Work-span makespan at the fixed model width: greedy earliest-free
+    // assignment in input order, the same discipline the sweep pool uses.
+    let work_ms: f64 = point_ms.iter().sum();
+    let span_ms = point_ms.iter().copied().fold(0.0, f64::max);
+    let mut workers = [0.0f64; MODEL_WIDTH as usize];
+    for &t in &point_ms {
+        let earliest = workers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        workers[earliest] += t;
+    }
+    let modeled_makespan_ms = workers.iter().copied().fold(0.0, f64::max);
 
     let identical = serial.len() == parallel.len()
         && serial.iter().zip(&parallel).all(|(a, b)| {
@@ -262,6 +294,9 @@ fn sweep_bench(scale: BenchScale) -> SweepResult {
         threads,
         serial_wall_ms,
         parallel_wall_ms,
+        span_ms,
+        modeled_makespan_ms,
+        modeled_speedup: work_ms / modeled_makespan_ms.max(0.001),
         identical,
     }
 }
@@ -452,6 +487,11 @@ fn main() {
         sweep.parallel_wall_ms,
         sweep.identical
     );
+    println!(
+        "work-span model @ width {MODEL_WIDTH}: span {:.0} ms, makespan {:.0} ms, \
+         speedup {:.2}",
+        sweep.span_ms, sweep.modeled_makespan_ms, sweep.modeled_speedup
+    );
 
     println!("\n-- intra-run parallel engine (conservative windows) --");
     let intra = intra_run_bench(scale);
@@ -504,6 +544,10 @@ fn main() {
             "    \"serial_wall_ms\": {:.1},\n",
             "    \"parallel_wall_ms\": {:.1},\n",
             "    \"speedup\": {:.2},\n",
+            "    \"model_width\": {},\n",
+            "    \"span_ms\": {:.1},\n",
+            "    \"modeled_makespan_ms\": {:.1},\n",
+            "    \"modeled_speedup\": {:.2},\n",
             "    \"identical_across_thread_counts\": {}\n",
             "  }},\n",
             "  \"intra_run\": {{\n",
@@ -546,6 +590,10 @@ fn main() {
         sweep.serial_wall_ms,
         sweep.parallel_wall_ms,
         sweep.serial_wall_ms / sweep.parallel_wall_ms.max(0.001),
+        MODEL_WIDTH,
+        sweep.span_ms,
+        sweep.modeled_makespan_ms,
+        sweep.modeled_speedup,
         sweep.identical,
         intra.replicas,
         intra.transactions,

@@ -35,10 +35,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
             ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
             ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         }
+        // SAFETY: same contract as System.alloc — the caller's layout is
+        // forwarded untouched.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: delegation only; ptr/layout come from the paired alloc above.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim to the allocator that produced ptr.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -24,7 +24,7 @@
 //! (everyone else). This mirrors the paper's methodology, where all
 //! comparators are built on the same ISS codebase.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

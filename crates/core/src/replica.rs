@@ -725,6 +725,7 @@ impl ReplicaNode {
             if !ready {
                 break;
             }
+            // orthrus: allow(panic-path): the ready check above just matched Some on first_pending; the glog is not touched in between.
             let block = self.glog.pop_pending().expect("first_pending was Some");
             if let Some(appended) = self.glog_appended_at.remove(&block.id()) {
                 let wait = ctx.now() - appended;

@@ -670,6 +670,7 @@ pub fn sweep_threads() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
     {
         Some(n) if n >= 1 => n,
+        // orthrus: allow(stray-thread): core-count discovery for the pool width only — results are bit-identical at any width, so no machine state leaks.
         _ => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),

@@ -21,7 +21,7 @@
 //! through [`executor::Executor::process_glog_tx`]'s calling layer instead of
 //! using the fast path.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod escrow;

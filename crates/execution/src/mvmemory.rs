@@ -331,7 +331,9 @@ pub struct OverlayView<'a> {
     /// exists).
     balances: FxHashMap<ObjectKey, Amount>,
     /// Escrow overrides: `Some(amount)` = inserted, `None` = removed.
-    escrow: FxHashMap<(ObjectKey, TxId), Option<Amount>>,
+    /// (Named distinctly from `WriteSet::escrow`, a plain `Vec`, so the
+    /// nondet-iter lint's name-based matching can tell them apart.)
+    escrow_overlay: FxHashMap<(ObjectKey, TxId), Option<Amount>>,
     /// Outcomes recorded earlier in this schedule.
     outcomes: FxHashMap<TxId, TxOutcome>,
     /// Transactions with *surviving* escrow overrides (reservations left
@@ -347,7 +349,7 @@ impl<'a> OverlayView<'a> {
         Self {
             base,
             balances: FxHashMap::default(),
-            escrow: FxHashMap::default(),
+            escrow_overlay: FxHashMap::default(),
             outcomes: FxHashMap::default(),
             escrow_touched: FxHashSet::default(),
         }
@@ -421,10 +423,10 @@ impl<'a> OverlayView<'a> {
     fn record_escrow(&mut self, write: &EscrowWrite) {
         match *write {
             EscrowWrite::Insert { key, tx, amount } => {
-                self.escrow.insert((key, tx), Some(amount));
+                self.escrow_overlay.insert((key, tx), Some(amount));
             }
             EscrowWrite::Remove { key, tx } => {
-                self.escrow.insert((key, tx), None);
+                self.escrow_overlay.insert((key, tx), None);
             }
         }
     }
@@ -471,7 +473,7 @@ impl StateView for OverlayView<'_> {
     }
 
     fn escrow_amount(&self, key: ObjectKey, tx: TxId) -> Option<Amount> {
-        match self.escrow.get(&(key, tx)) {
+        match self.escrow_overlay.get(&(key, tx)) {
             Some(entry) => *entry,
             None => self.base.escrow_amount(key, tx),
         }

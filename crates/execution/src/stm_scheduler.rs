@@ -40,8 +40,8 @@ use crate::mvmemory::{
 use crate::store::StoreShard;
 use orthrus_types::pool::{parallel_for_mut, parallel_map};
 use orthrus_types::{
-    Amount, FxHashMap, InstanceId, ObjectKey, ObjectOp, Operation, SharedBlock, SharedTx,
-    Transaction, TxId,
+    Amount, FxHashMap, InstanceId, ObjectKey, ObjectOp, Operation, ProfTimer, SharedBlock,
+    SharedTx, Transaction, TxId,
 };
 
 /// Counters the optimistic engine reports per schedule (aggregated by the
@@ -320,10 +320,12 @@ struct CommitJob<'a> {
 
 impl CommitJob<'_> {
     fn run(&mut self) {
+        // orthrus: allow(nondet-iter): apply_owned_run commutes across keys — wrapping-add digest accumulator plus summed op counters (see the field doc).
         for (&key, &count) in &self.runs {
             self.objects
                 .apply_owned_run(key, self.balances[&key], count);
         }
+        // orthrus: allow(nondet-iter): distinct (key, tx) escrow entries touch disjoint slots, so application order is immaterial.
         for (&(key, tx), &net) in &self.nets {
             match net {
                 Some(amount) => self.escrow.insert(key, tx, amount),
@@ -356,18 +358,18 @@ pub(crate) fn run_schedule(
         return (Vec::new(), stats);
     }
 
-    let (mv, final_balances, runs, nets) = {
+    let (mv, final_balances, shard_runs, shard_nets) = {
         let (store, elog, outcomes) = executor.stm_parts();
 
         // Phase 1 — speculative wave against the frozen committed state.
-        let t_wave = std::time::Instant::now();
+        let t_wave = ProfTimer::started();
         let view = CommittedView::new(store, elog, outcomes);
         let wave = parallel_map(&occurrences, threads, |(instance, tx)| {
             execute_occurrence(&view, tx, *instance, assign)
         });
         let mut mv = MVMemory::from_wave(wave);
-        stats.wave_ns = t_wave.elapsed().as_nanos() as u64;
-        let t_validate = std::time::Instant::now();
+        stats.wave_ns = t_wave.elapsed_ns();
+        let t_validate = ProfTimer::started();
 
         // Phase 2 — serial validation in schedule order against the exact
         // overlay; mismatched traces re-execute inline (incarnation += 1).
@@ -397,8 +399,9 @@ pub(crate) fn run_schedule(
         // Account writes coalesce to one entry per key; escrow insert/remove
         // pairs taken and dropped within this schedule cancel entirely.
         let shards = store.num_account_shards();
-        let mut runs: Vec<FxHashMap<ObjectKey, u64>> = vec![FxHashMap::default(); shards as usize];
-        let mut nets: Vec<FxHashMap<(ObjectKey, TxId), Option<Amount>>> =
+        let mut shard_runs: Vec<FxHashMap<ObjectKey, u64>> =
+            vec![FxHashMap::default(); shards as usize];
+        let mut shard_nets: Vec<FxHashMap<(ObjectKey, TxId), Option<Amount>>> =
             vec![FxHashMap::default(); shards as usize];
         for (index, (instance, tx)) in occurrences.iter().enumerate() {
             let mut conflicted = overlay.tx_touched(tx.id);
@@ -424,10 +427,12 @@ pub(crate) fn run_schedule(
             overlay.apply(tx.id, set);
             for write in &set.store {
                 let key = write.key();
-                *runs[key.shard(shards) as usize].entry(key).or_insert(0) += 1;
+                *shard_runs[key.shard(shards) as usize]
+                    .entry(key)
+                    .or_insert(0) += 1;
             }
             for write in &set.escrow {
-                let net = &mut nets[write.key().shard(shards) as usize];
+                let net = &mut shard_nets[write.key().shard(shards) as usize];
                 match *write {
                     EscrowWrite::Insert { key, tx, amount } => {
                         net.insert((key, tx), Some(amount));
@@ -444,13 +449,13 @@ pub(crate) fn run_schedule(
                 }
             }
         }
-        stats.validate_ns = t_validate.elapsed().as_nanos() as u64;
-        (mv, overlay.into_balances(), runs, nets)
+        stats.validate_ns = t_validate.elapsed_ns();
+        (mv, overlay.into_balances(), shard_runs, shard_nets)
     };
 
     // Phase 3 — commit: apply each shard's coalesced work list with
     // exclusive shard access (parallel across shards).
-    let t_commit = std::time::Instant::now();
+    let t_commit = ProfTimer::started();
     {
         let (store, elog) = executor.stm_commit_parts();
         let (account_shards, _shared) = store.split_shards_mut();
@@ -458,7 +463,7 @@ pub(crate) fn run_schedule(
         let mut jobs: Vec<CommitJob<'_>> = account_shards
             .into_iter()
             .zip(escrow_shards)
-            .zip(runs.into_iter().zip(nets))
+            .zip(shard_runs.into_iter().zip(shard_nets))
             .filter(|(_, (runs, nets))| !runs.is_empty() || !nets.is_empty())
             .map(|((objects, escrow), (runs, nets))| CommitJob {
                 objects,
@@ -470,7 +475,7 @@ pub(crate) fn run_schedule(
             .collect();
         parallel_for_mut(&mut jobs, threads, |job| job.run());
     }
-    stats.commit_ns = t_commit.elapsed().as_nanos() as u64;
+    stats.commit_ns = t_commit.elapsed_ns();
     if std::env::var_os("ORTHRUS_STM_PROFILE").is_some() {
         eprintln!(
             "stm wave: {:.3}ms validate: {:.3}ms commit: {:.3}ms",

@@ -47,7 +47,7 @@
 //! assert_eq!(outcome.confirmed, outcome.submitted);
 //! ```
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lower;

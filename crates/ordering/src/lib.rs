@@ -13,7 +13,7 @@
 //! * [`ladon`] — Ladon's rank-based dynamic ordering, also used by Orthrus
 //!   for contract transactions.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dqbft;

@@ -23,7 +23,7 @@
 //!   replica should suspect an instance's leader;
 //! * [`cluster`] — an in-memory cluster harness for protocol-level tests.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod actions;

@@ -38,8 +38,8 @@ use crate::node::{NodeId, Payload};
 use crate::stats::StatsCollector;
 use orthrus_types::pool::parallel_for_mut;
 use orthrus_types::rng::StdRng;
-use orthrus_types::{Duration, SimTime};
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use orthrus_types::{Duration, ProfTimer, SimTime};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 
 /// Minimum number of predicted invocations in a lookahead window before the
@@ -256,6 +256,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         let mut hasher = orthrus_types::crypto::FnvHasher::default();
         id.hash(&mut hasher);
         let node_seed = self.seed ^ hasher.finish();
+        // orthrus: allow(ambient-rng): per-node stream derived from the scenario seed XOR a stable node-id hash.
         self.rngs.insert(id, StdRng::seed_from_u64(node_seed));
         self.actors.insert(id, actor);
         self.queue
@@ -408,9 +409,11 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         for (i, &(_, to)) in plan.iter().enumerate().take(due_end).skip(start) {
             let m = if i + 1 == plan.len() {
                 msg.take()
+                    // orthrus: allow(panic-path): only the final recipient takes the message; every earlier arm clones from the still-occupied Option.
                     .expect("batch message present until last recipient")
             } else {
                 msg.as_ref()
+                    // orthrus: allow(panic-path): the take() above only runs on the last plan index, so a shared borrow always finds the message.
                     .expect("batch message present until last recipient")
                     .clone()
             };
@@ -418,6 +421,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         }
         if due_end < plan.len() {
             let at = plan[due_end].0;
+            // orthrus: allow(panic-path): due_end < plan.len() means the last recipient has not consumed the message yet.
             let msg = msg.take().expect("undelivered batch keeps its message");
             self.queue.schedule(
                 at,
@@ -449,6 +453,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
             let rng = self
                 .rngs
                 .get_mut(&node)
+                // orthrus: allow(panic-path): add_actor installs the rng stream with the actor; the guard above already returned for unknown nodes.
                 .expect("every actor has an rng stream");
             let mut ctx = Context {
                 now: self.now,
@@ -490,6 +495,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
                 let rng = self
                     .rngs
                     .get_mut(&node)
+                    // orthrus: allow(panic-path): same invariant as above — rng streams exist for every registered actor.
                     .expect("every actor has an rng stream");
                 let mut sender = SenderState {
                     rng,
@@ -582,7 +588,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
             };
             let end = SimTime(t_min.0.saturating_add(lookahead).min(cap));
             if self.faults.parallel_hazard_in(t_min, end) {
-                let started = self.profile.then(std::time::Instant::now);
+                let started = ProfTimer::maybe(self.profile);
                 let before = self.events_processed;
                 self.run_serial_window(end);
                 self.windows_serial += 1;
@@ -604,10 +610,10 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         }
     }
 
-    fn sample_serial_window(&mut self, started: Option<std::time::Instant>, events_before: u64) {
-        if let Some(t) = started {
+    fn sample_serial_window(&mut self, started: ProfTimer, events_before: u64) {
+        if started.active() {
             self.window_samples.push(WindowSample {
-                serial_ns: t.elapsed().as_nanos() as u64,
+                serial_ns: started.elapsed_ns(),
                 invocations: self.events_processed - events_before,
                 ..WindowSample::default()
             });
@@ -616,7 +622,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
 
     /// One conservative window `[t_min, end)`: predict, fan out, merge.
     fn run_window(&mut self, end: SimTime) {
-        let plan_started = self.profile.then(std::time::Instant::now);
+        let plan_started = ProfTimer::maybe(self.profile);
         let events_before = self.events_processed;
         let drained = self.queue.drain_upto(end);
         let (planned, invocations) = self.plan_window(&drained, end);
@@ -631,7 +637,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
             return;
         }
         let mut lanes = self.make_lanes(planned);
-        let plan_ns = plan_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let plan_ns = plan_started.elapsed_ns();
 
         {
             let network = &self.network;
@@ -642,7 +648,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
             });
         }
 
-        let merge_started = self.profile.then(std::time::Instant::now);
+        let merge_started = ProfTimer::maybe(self.profile);
         let (mut max_lane_ns, mut sum_lane_ns) = (0u64, 0u64);
         let lane_count = lanes.len() as u32;
         if self.profile {
@@ -655,9 +661,9 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         self.queue.restore(drained);
         self.replay_window(end, fifos);
         self.windows_parallel += 1;
-        if let Some(t) = merge_started {
+        if merge_started.active() {
             self.window_samples.push(WindowSample {
-                serial_ns: plan_ns + t.elapsed().as_nanos() as u64,
+                serial_ns: plan_ns + merge_started.elapsed_ns(),
                 max_lane_ns,
                 sum_lane_ns,
                 lanes: lane_count,
@@ -679,8 +685,8 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         &self,
         drained: &[(SimTime, u64, EngineEvent<M>)],
         end: SimTime,
-    ) -> (HashMap<NodeId, Vec<PlannedInv<M>>>, usize) {
-        let mut planned: HashMap<NodeId, Vec<PlannedInv<M>>> = HashMap::new();
+    ) -> (BTreeMap<NodeId, Vec<PlannedInv<M>>>, usize) {
+        let mut planned: BTreeMap<NodeId, Vec<PlannedInv<M>>> = BTreeMap::new();
         let mut count = 0usize;
         let mut scratch: BinaryHeap<ScratchEntry<M>> = BinaryHeap::new();
         let mut pseudo_seq = self.queue.next_seq();
@@ -693,6 +699,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
                 (Some(&&(time, seq, _)), Some(s)) => (s.time, s.seq) < (time, seq),
             };
             if take_scratch {
+                // orthrus: allow(panic-path): take_scratch is only true when scratch.peek() returned Some in the match above.
                 let mut s = scratch.pop().expect("peeked entry exists");
                 let mut due_end = s.next;
                 while due_end < s.plan.len() && s.plan[due_end].0 <= s.time {
@@ -721,6 +728,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
                 // re-schedules it for real when the batch event pops.
                 continue;
             }
+            // orthrus: allow(panic-path): this branch is only reached when originals.peek() returned Some in the match above.
             let &(time, _seq, ref event) = originals.next().expect("peeked entry exists");
             match event {
                 EngineEvent::Start { node } => {
@@ -806,7 +814,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
     /// walk would.
     fn push_planned(
         &self,
-        planned: &mut HashMap<NodeId, Vec<PlannedInv<M>>>,
+        planned: &mut BTreeMap<NodeId, Vec<PlannedInv<M>>>,
         count: &mut usize,
         node: NodeId,
         time: SimTime,
@@ -823,27 +831,28 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
     }
 
     /// Phase B setup: move each planned actor and its private simulation
-    /// state out of the engine into a lane task. Lanes are sorted by node id
-    /// so the fan-out order is deterministic (the merge is order-insensitive,
-    /// but determinism is cheap).
-    fn make_lanes(&mut self, mut planned: HashMap<NodeId, Vec<PlannedInv<M>>>) -> Vec<LaneTask<M>> {
-        let mut nodes: Vec<NodeId> = planned.keys().copied().collect();
-        nodes.sort_unstable();
-        nodes
+    /// state out of the engine into a lane task. The planner map is a
+    /// `BTreeMap`, so lanes come out sorted by node id and the fan-out order
+    /// is deterministic by construction (the merge is order-insensitive, but
+    /// determinism is cheap).
+    fn make_lanes(&mut self, planned: BTreeMap<NodeId, Vec<PlannedInv<M>>>) -> Vec<LaneTask<M>> {
+        planned
             .into_iter()
-            .map(|node| LaneTask {
+            .map(|(node, pending)| LaneTask {
                 node,
                 actor: self
                     .actors
                     .remove(&node)
+                    // orthrus: allow(panic-path): plan_window only plans invocations for registered actors; a miss is an engine bug, not a recoverable schedule state.
                     .expect("planned lanes have actors"),
                 rng: self
                     .rngs
                     .remove(&node)
+                    // orthrus: allow(panic-path): add_actor seeds an rng stream alongside every actor; the two maps share a key set by construction.
                     .expect("every actor has an rng stream"),
                 nic_free: self.nic_free.get(&node).copied().unwrap_or(SimTime::ZERO),
                 timer_seq: self.timer_seqs.get(&node).copied().unwrap_or(0),
-                pending: planned.remove(&node).expect("key from the same map"),
+                pending,
                 records: Vec::new(),
                 stats: StatsCollector::new(),
                 messages_sent: 0,
@@ -860,8 +869,8 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
     fn merge_lanes(
         &mut self,
         lanes: Vec<LaneTask<M>>,
-    ) -> HashMap<NodeId, VecDeque<InvocationRecord<M>>> {
-        let mut fifos = HashMap::with_capacity(lanes.len());
+    ) -> BTreeMap<NodeId, VecDeque<InvocationRecord<M>>> {
+        let mut fifos = BTreeMap::new();
         for lane in lanes {
             self.actors.insert(lane.node, lane.actor);
             self.rngs.insert(lane.node, lane.rng);
@@ -883,7 +892,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
     fn replay_window(
         &mut self,
         end: SimTime,
-        mut fifos: HashMap<NodeId, VecDeque<InvocationRecord<M>>>,
+        mut fifos: BTreeMap<NodeId, VecDeque<InvocationRecord<M>>>,
     ) {
         let below = SimTime(end.0 - 1);
         while let Ok((time, event)) = self.queue.pop_before(below) {
@@ -900,7 +909,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
     fn dispatch_replay(
         &mut self,
         event: EngineEvent<M>,
-        fifos: &mut HashMap<NodeId, VecDeque<InvocationRecord<M>>>,
+        fifos: &mut BTreeMap<NodeId, VecDeque<InvocationRecord<M>>>,
     ) {
         match event {
             EngineEvent::Start { node } => {
@@ -941,7 +950,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         msg: M,
         plan: Vec<(SimTime, NodeId)>,
         start: usize,
-        fifos: &mut HashMap<NodeId, VecDeque<InvocationRecord<M>>>,
+        fifos: &mut BTreeMap<NodeId, VecDeque<InvocationRecord<M>>>,
     ) {
         let mut due_end = start;
         while due_end < plan.len() && plan[due_end].0 <= self.now {
@@ -952,9 +961,11 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         for (i, &(_, to)) in plan.iter().enumerate().take(due_end).skip(start) {
             let m = if i + 1 == plan.len() {
                 msg.take()
+                    // orthrus: allow(panic-path): mirror of dispatch_batch — only the final recipient takes the message.
                     .expect("batch message present until last recipient")
             } else {
                 msg.as_ref()
+                    // orthrus: allow(panic-path): mirror of dispatch_batch — earlier arms clone from the still-occupied Option.
                     .expect("batch message present until last recipient")
                     .clone()
             };
@@ -967,6 +978,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         }
         if due_end < plan.len() {
             let at = plan[due_end].0;
+            // orthrus: allow(panic-path): mirror of dispatch_batch — due_end < plan.len() means the message was not consumed.
             let msg = msg.take().expect("undelivered batch keeps its message");
             self.queue.schedule(
                 at,
@@ -989,7 +1001,7 @@ impl<M: Payload + Clone + Send + 'static> Simulation<M> {
         node: NodeId,
         kind: RecordKind,
         invocation: Invocation<M>,
-        fifos: &mut HashMap<NodeId, VecDeque<InvocationRecord<M>>>,
+        fifos: &mut BTreeMap<NodeId, VecDeque<InvocationRecord<M>>>,
     ) {
         if self.node_crashed(node, self.now) {
             return;
@@ -1308,7 +1320,7 @@ fn run_lane<M: Payload + Clone + Send + 'static>(
     lane: &mut LaneTask<M>,
     profile: bool,
 ) {
-    let started = profile.then(std::time::Instant::now);
+    let started = ProfTimer::maybe(profile);
     // Ids of timers this lane cancelled. A pending in-window timer invocation
     // with a matching id is skipped without a record: the replay applies the
     // recorded cancel for real, so its tombstone check skips the pop too.
@@ -1395,8 +1407,8 @@ fn run_lane<M: Payload + Clone + Send + 'static>(
             break;
         }
     }
-    if let Some(t) = started {
-        lane.wall_ns = t.elapsed().as_nanos() as u64;
+    if started.active() {
+        lane.wall_ns = started.elapsed_ns();
     }
 }
 

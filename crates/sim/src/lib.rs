@@ -25,7 +25,7 @@
 //! scenario seed, and simultaneous events are ordered by insertion sequence,
 //! so a given (scenario, seed) pair always produces the same trace.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod actor;

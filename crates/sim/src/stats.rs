@@ -226,6 +226,7 @@ impl StatsCollector {
     /// back through this and lands on the exact serial collector regardless
     /// of merge order.
     pub fn absorb(&mut self, other: StatsCollector) {
+        // orthrus: allow(nondet-iter): commutative merge — min for timestamps, OR for aborts, sums for counters — so visit order cannot leak.
         for (id, rec) in other.txs {
             let entry = self.txs.entry(id).or_default();
             entry.submitted = merge_min(entry.submitted, rec.submitted);
@@ -246,16 +247,19 @@ impl StatsCollector {
 
     /// Number of transactions submitted.
     pub fn submitted_count(&self) -> usize {
+        // orthrus: allow(nondet-iter): count of a filter — order-free fold.
         self.txs.values().filter(|r| r.submitted.is_some()).count()
     }
 
     /// Number of transactions confirmed (successfully or not).
     pub fn confirmed_count(&self) -> usize {
+        // orthrus: allow(nondet-iter): count of a filter — order-free fold.
         self.txs.values().filter(|r| r.confirmed.is_some()).count()
     }
 
     /// Number of aborted transactions.
     pub fn aborted_count(&self) -> usize {
+        // orthrus: allow(nondet-iter): count of a filter — order-free fold.
         self.txs.values().filter(|r| r.aborted).count()
     }
 
@@ -301,6 +305,7 @@ impl StatsCollector {
             .filter_map(|r| r.submitted)
             .min()
             .unwrap_or(SimTime::ZERO);
+        // orthrus: allow(nondet-iter): max over all values — order-free fold.
         let last_confirm = self.txs.values().filter_map(|r| r.confirmed).max();
         let Some(last) = last_confirm else {
             return 0.0;
@@ -319,6 +324,7 @@ impl StatsCollector {
         if bucket_s <= 0.0 {
             return Vec::new();
         }
+        // orthrus: allow(nondet-iter): the collected times feed per-bucket counts — a commutative histogram, insensitive to visit order.
         let confirmations: Vec<SimTime> = self.txs.values().filter_map(|r| r.confirmed).collect();
         let Some(&max_t) = confirmations.iter().max() else {
             return Vec::new();
@@ -383,6 +389,7 @@ impl StatsCollector {
     pub fn latency_breakdown(&self) -> LatencyBreakdown {
         let mut sums = [0u64; 5];
         let mut count = 0u64;
+        // orthrus: allow(nondet-iter): per-stage sums and a count — commutative accumulation.
         for rec in self.txs.values() {
             let (Some(submitted), Some(confirmed)) = (rec.submitted, rec.confirmed) else {
                 continue;

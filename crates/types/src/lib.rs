@@ -27,7 +27,7 @@
 //!   run-to-run stable, unlike `std`'s keyed SipHash).
 //! * [`error`] — the common error type.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod block;
@@ -39,6 +39,7 @@ pub mod hash;
 pub mod ids;
 pub mod object;
 pub mod pool;
+pub mod profiling;
 pub mod rng;
 pub mod state;
 pub mod time;
@@ -52,6 +53,7 @@ pub use error::{OrthrusError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, Epoch, InstanceId, ObjectKey, Rank, ReplicaId, SeqNum, TxId, View};
 pub use object::{Amount, Condition, ObjectOp, ObjectType, Operation, Value};
+pub use profiling::ProfTimer;
 pub use state::SystemState;
 pub use time::{Duration, SimTime};
 pub use transaction::{SharedTx, Transaction, TxKind};

@@ -12,7 +12,7 @@
 //!   shared contract objects, and a deterministic transaction trace with a
 //!   configurable payment share (the knob swept by the paper's Fig. 5).
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generator;

@@ -82,7 +82,7 @@
 //! orthrus lint                               # parse + validate all specs
 //! ```
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use orthrus_core as core;
